@@ -1,0 +1,352 @@
+package streamcast
+
+// One benchmark per table/figure of the paper's evaluation (run with
+// `go test -bench=. -benchmem`), plus micro-benchmarks of the substrates.
+// Each table/figure benchmark regenerates the corresponding experiment and
+// reports its headline quantity as a custom metric, so `go test -bench`
+// output doubles as a compact reproduction record.
+
+import (
+	"fmt"
+	"testing"
+
+	"streamcast/internal/core"
+	"streamcast/internal/experiments"
+	"streamcast/internal/graph"
+	"streamcast/internal/hypercube"
+	"streamcast/internal/multitree"
+	rt "streamcast/internal/runtime"
+	"streamcast/internal/slotsim"
+)
+
+// BenchmarkFig3Construction measures interior-disjoint tree construction
+// (the Figure 3 artifact) at several sizes.
+func BenchmarkFig3Construction(b *testing.B) {
+	for _, c := range []multitree.Construction{multitree.Structured, multitree.Greedy} {
+		for _, n := range []int{15, 255, 2047} {
+			b.Run(fmt.Sprintf("%s/N=%d", c, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := multitree.New(n, 3, c); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig4WorstCaseDelay regenerates Figure 4 (worst-case startup
+// delay vs N for degrees 2..5) and reports the N=2000 values.
+func BenchmarkFig4WorstCaseDelay(b *testing.B) {
+	var tab *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.Figure4(2000, 200, []int{2, 3, 4, 5}, multitree.Greedy)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	for i, d := range []int{2, 3, 4, 5} {
+		var v float64
+		fmt.Sscanf(last[i+1], "%f", &v)
+		b.ReportMetric(v, fmt.Sprintf("delay_d%d_N2000", d))
+	}
+}
+
+// BenchmarkTable1Comparison regenerates the Table 1 comparison at N=255.
+func BenchmarkTable1Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1([]int{255}, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5HypercubeSteadyState runs the single-cube schedule that
+// Figures 5/6 trace (N=7) plus a larger cube, reporting worst buffer.
+func BenchmarkFig5HypercubeSteadyState(b *testing.B) {
+	for _, k := range []int{3, 7, 10} {
+		n := 1<<k - 1
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			s, err := hypercube.New(n, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var res *slotsim.Result
+			for i := 0; i < b.N; i++ {
+				res, err = slotsim.Run(s, slotsim.Options{
+					Slots:   core.Slot(4*k + 8),
+					Packets: core.Packet(2 * k),
+					Mode:    core.Live,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.WorstBuffer()), "worst_buffer_pkts")
+			b.ReportMetric(float64(res.WorstStartDelay()), "worst_delay_slots")
+		})
+	}
+}
+
+// BenchmarkClusterDelay regenerates the Figure 1 / Theorem 1 experiment.
+func BenchmarkClusterDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ClusterExperiment(9, 3, 4, 30, []int{10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDelayBounds regenerates the Theorem 2/3 comparison.
+func BenchmarkDelayBounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DelayBounds([]int{100, 500}, []int{2, 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHypercubeAvgDelay regenerates the Theorem 4 experiment and
+// reports the N=1000 average against the 2·log2 N bound.
+func BenchmarkHypercubeAvgDelay(b *testing.B) {
+	var tab *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.HypercubeAvgDelay([]int{1000})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var avg, bound float64
+	fmt.Sscanf(tab.Rows[0][2], "%f", &avg)
+	fmt.Sscanf(tab.Rows[0][3], "%f", &bound)
+	b.ReportMetric(avg, "avg_delay_slots")
+	b.ReportMetric(bound, "thm4_bound_slots")
+}
+
+// BenchmarkDegreeOptimization regenerates the Section 2.3 degree study.
+func BenchmarkDegreeOptimization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DegreeOptimization([]int{100, 1000, 10000}, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChurn regenerates the appendix dynamics experiment and reports
+// the per-op swap averages of both variants.
+func BenchmarkChurn(b *testing.B) {
+	var tab *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.Churn(50, 3, 1000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var eager, lazy float64
+	fmt.Sscanf(tab.Rows[0][2], "%f", &eager)
+	fmt.Sscanf(tab.Rows[1][2], "%f", &lazy)
+	b.ReportMetric(eager, "eager_swaps_per_op")
+	b.ReportMetric(lazy, "lazy_swaps_per_op")
+}
+
+// BenchmarkDelayDistribution regenerates the per-node delay-distribution
+// extension.
+func BenchmarkDelayDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DelayDistribution([]int{500}, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChurnComparison regenerates the multi-tree vs hypercube churn
+// cost comparison.
+func BenchmarkChurnComparison(b *testing.B) {
+	var tab *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.ChurnComparison(60, 3, 600, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var mt, hc float64
+	fmt.Sscanf(tab.Rows[0][2], "%f", &mt)
+	fmt.Sscanf(tab.Rows[1][2], "%f", &hc)
+	b.ReportMetric(mt, "multitree_moves_per_op")
+	b.ReportMetric(hc, "hypercube_moves_per_op")
+}
+
+// BenchmarkBaselines regenerates the Section 1 strawman comparison.
+func BenchmarkBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Baselines([]int{200}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveModes regenerates the stream-mode ablation.
+func BenchmarkLiveModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LiveModes([]int{100}, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDisjointTreeSolver measures the exact NP-completeness solver on
+// reduction graphs (E13).
+func BenchmarkDisjointTreeSolver(b *testing.B) {
+	in := &graph.E4Instance{
+		NumElements: 6,
+		Sets:        [][4]int{{0, 1, 2, 3}, {2, 3, 4, 5}, {0, 2, 4, 5}},
+	}
+	g, root, err := in.Reduce()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := g.TwoInteriorDisjointTrees(root); !ok {
+			b.Fatal("expected trees")
+		}
+	}
+}
+
+// BenchmarkEngineSequentialVsParallel measures simulator throughput on a
+// large multi-tree (substrate micro-benchmark).
+func BenchmarkEngineSequentialVsParallel(b *testing.B) {
+	m, err := multitree.New(2000, 3, multitree.Greedy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := multitree.NewScheme(m, core.PreRecorded)
+	opt := slotsim.Options{
+		Slots:   core.Slot(m.Height()*3 + 30),
+		Packets: 9,
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := slotsim.Run(s, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := slotsim.RunParallel(s, opt, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleGeneration measures raw schedule-emission throughput.
+func BenchmarkScheduleGeneration(b *testing.B) {
+	m, err := multitree.New(1000, 3, multitree.Greedy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := multitree.NewScheme(m, core.PreRecorded)
+	b.Run("multitree-N1000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.Transmissions(core.Slot(i % 64))
+		}
+	})
+	h, err := hypercube.New(1023, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("hypercube-N1023", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.Transmissions(core.Slot(i%64) + 16)
+		}
+	})
+}
+
+// BenchmarkStructuredVsUnstructured regenerates the gossip comparison.
+func BenchmarkStructuredVsUnstructured(b *testing.B) {
+	var tab *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.StructuredVsUnstructured([]int{200}, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var mt, g float64
+	fmt.Sscanf(tab.Rows[0][4], "%f", &mt)
+	fmt.Sscanf(tab.Rows[1][4], "%f", &g)
+	b.ReportMetric(mt, "multitree_max_delay")
+	b.ReportMetric(g, "gossip_max_delay")
+}
+
+// BenchmarkMDC regenerates the MDC graceful-degradation experiment.
+func BenchmarkMDC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MDCGracefulDegradation(60, 4, []float64{0.02}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChurnImpact regenerates the churn playback-impact experiment.
+func BenchmarkChurnImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ChurnImpact(40, 3, 100, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntimeExecution measures the concurrent goroutine runtime
+// (channel and net.Pipe transports) against the matrix engine's workload.
+func BenchmarkRuntimeExecution(b *testing.B) {
+	m, err := multitree.New(100, 3, multitree.Greedy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := multitree.NewScheme(m, core.PreRecorded)
+	slots := core.Slot(m.Height()*3 + 30)
+	b.Run("chan-transport", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.Execute(s, rt.Options{Slots: slots, Packets: 9}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pipe-transport", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.Execute(s, rt.Options{
+				Slots: slots, Packets: 9,
+				Transport: rt.NewPipeTransport(100, 8),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDynamicChurnOps measures raw add/delete throughput.
+func BenchmarkDynamicChurnOps(b *testing.B) {
+	dy, err := multitree.NewDynamic(256, 3, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("b-%d", i)
+		if _, err := dy.Add(name); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dy.Delete(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

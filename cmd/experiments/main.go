@@ -1,0 +1,137 @@
+// Command experiments regenerates the paper's tables and figures (see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison).
+//
+//	experiments -run all          run everything
+//	experiments -run fig4         one experiment
+//	experiments -run table1 -csv  CSV instead of aligned text
+//	experiments -out results/     additionally write one file per table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"streamcast/internal/experiments"
+	"streamcast/internal/multitree"
+)
+
+type runner struct {
+	name string
+	run  func() (*experiments.Table, error)
+}
+
+func main() {
+	var (
+		which = flag.String("run", "all", "experiment id or 'all'")
+		csv   = flag.Bool("csv", false, "emit CSV")
+		out   = flag.String("out", "", "directory to write per-table files into")
+		quick = flag.Bool("quick", false, "smaller sweeps for a fast pass")
+	)
+	flag.Parse()
+
+	fig4Max, fig4Step := 2000, 100
+	table1Ns := []int{15, 63, 127, 255, 511, 1023}
+	boundNs := []int{20, 50, 100, 250, 500, 1000}
+	hcNs := []int{7, 15, 31, 50, 100, 255, 500, 1000, 2000}
+	degNs := []int{10, 30, 100, 300, 1000, 3000, 10000}
+	baseNs := []int{50, 200, 1000}
+	churnOps := 2000
+	if *quick {
+		fig4Max, fig4Step = 400, 100
+		table1Ns = []int{15, 63}
+		boundNs = []int{20, 100}
+		hcNs = []int{7, 50, 255}
+		degNs = []int{10, 100, 1000}
+		baseNs = []int{50}
+		churnOps = 300
+	}
+
+	all := []runner{
+		{"fig4", func() (*experiments.Table, error) {
+			return experiments.Figure4(fig4Max, fig4Step, []int{2, 3, 4, 5}, multitree.Greedy)
+		}},
+		{"table1", func() (*experiments.Table, error) {
+			return experiments.Table1(table1Ns, 3)
+		}},
+		{"cluster", func() (*experiments.Table, error) {
+			return experiments.ClusterExperiment(9, 3, 4, 30, []int{2, 5, 10, 20, 40})
+		}},
+		{"bounds", func() (*experiments.Table, error) {
+			return experiments.DelayBounds(boundNs, []int{2, 3, 4, 5})
+		}},
+		{"hcavg", func() (*experiments.Table, error) {
+			return experiments.HypercubeAvgDelay(hcNs)
+		}},
+		{"degree", func() (*experiments.Table, error) {
+			return experiments.DegreeOptimization(degNs, 8)
+		}},
+		{"churn", func() (*experiments.Table, error) {
+			return experiments.Churn(50, 3, churnOps, 1)
+		}},
+		{"baselines", func() (*experiments.Table, error) {
+			return experiments.Baselines(baseNs)
+		}},
+		{"livemodes", func() (*experiments.Table, error) {
+			return experiments.LiveModes([]int{20, 100, 500}, 3)
+		}},
+		{"delaydist", func() (*experiments.Table, error) {
+			return experiments.DelayDistribution(baseNs, 3)
+		}},
+		{"churncmp", func() (*experiments.Table, error) {
+			return experiments.ChurnComparison(50, 3, churnOps, 1)
+		}},
+		{"churnimpact", func() (*experiments.Table, error) {
+			return experiments.ChurnImpact(40, 3, churnOps/4, 1)
+		}},
+		{"unstructured", func() (*experiments.Table, error) {
+			return experiments.StructuredVsUnstructured(baseNs, 3)
+		}},
+		{"midstream", func() (*experiments.Table, error) {
+			return experiments.MidStreamSwaps(41, 3)
+		}},
+		{"mdc", func() (*experiments.Table, error) {
+			return experiments.MDCGracefulDegradation(60, 4, []float64{0.005, 0.02, 0.1}, 1)
+		}},
+	}
+
+	ran := false
+	for _, r := range all {
+		if *which != "all" && *which != r.name {
+			continue
+		}
+		ran = true
+		tab, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			tab.CSV(os.Stdout)
+		} else {
+			tab.Render(os.Stdout)
+		}
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*out, r.name+".csv"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			tab.CSV(f)
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *which)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,191 @@
+// Command streamsim runs one streaming scheme through the slot-synchronous
+// simulator and reports its QoS metrics: per-scheme worst and average
+// playback delay, peak buffer occupancy, and neighbor counts.
+//
+// Examples:
+//
+//	streamsim -scheme multitree -n 100 -d 3 -construction greedy -mode live
+//	streamsim -scheme hypercube -n 100 -d 2
+//	streamsim -scheme chain -n 50
+//	streamsim -scheme singletree -n 50 -d 2
+//	streamsim -scheme cluster -n 20 -k 9 -D 3 -d 4 -tc 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamcast/internal/baseline"
+	"streamcast/internal/cluster"
+	"streamcast/internal/core"
+	"streamcast/internal/gossip"
+	"streamcast/internal/hypercube"
+	"streamcast/internal/multitree"
+	"streamcast/internal/runtime"
+	"streamcast/internal/slotsim"
+)
+
+func main() {
+	var (
+		schemeName   = flag.String("scheme", "multitree", "multitree | hypercube | chain | singletree | gossip | cluster")
+		n            = flag.Int("n", 100, "number of receivers (per cluster for -scheme cluster)")
+		d            = flag.Int("d", 3, "degree / source capacity d")
+		construction = flag.String("construction", "greedy", "multi-tree construction: greedy | structured")
+		modeName     = flag.String("mode", "prerecorded", "prerecorded | live | prebuffered")
+		packets      = flag.Int("packets", 0, "measurement window in packets (0 = auto)")
+		k            = flag.Int("k", 4, "clusters (cluster scheme)")
+		dd           = flag.Int("D", 3, "backbone degree D (cluster scheme)")
+		tc           = flag.Int("tc", 5, "inter-cluster latency Tc (cluster scheme)")
+		parallel     = flag.Bool("parallel", false, "use the goroutine-parallel engine")
+		workers      = flag.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
+		engineName   = flag.String("engine", "slotsim", "slotsim | runtime (goroutine message passing)")
+		seed         = flag.Int64("seed", 1, "seed for the gossip mesh")
+		gossipDeg    = flag.Int("gossip-degree", 5, "gossip neighbor-set size")
+	)
+	flag.Parse()
+
+	mode := core.PreRecorded
+	switch *modeName {
+	case "prerecorded":
+	case "live":
+		mode = core.Live
+	case "prebuffered":
+		mode = core.LivePreBuffered
+	default:
+		fatalf("unknown mode %q", *modeName)
+	}
+
+	constr := multitree.Greedy
+	switch *construction {
+	case "greedy":
+	case "structured":
+		constr = multitree.Structured
+	default:
+		fatalf("unknown construction %q", *construction)
+	}
+
+	if *schemeName == "cluster" {
+		runCluster(*k, *dd, *tc, *n, *d, constr)
+		return
+	}
+
+	var (
+		scheme core.Scheme
+		opt    slotsim.Options
+		extra  core.Slot
+	)
+	opt.Mode = mode
+	switch *schemeName {
+	case "multitree":
+		m, err := multitree.New(*n, *d, constr)
+		check(err)
+		scheme = multitree.NewScheme(m, mode)
+		extra = core.Slot(m.Height()**d + 4**d + 2)
+	case "hypercube":
+		h, err := hypercube.New(*n, *d)
+		check(err)
+		scheme = h
+		opt.Mode = core.Live
+		lg := 1
+		for 1<<lg < *n+1 {
+			lg++
+		}
+		extra = core.Slot((lg+1)*(lg+1) + 4)
+	case "chain":
+		c, err := baseline.NewChain(*n)
+		check(err)
+		scheme = c
+		extra = core.Slot(*n + 4)
+	case "singletree":
+		st, err := baseline.NewSingleTree(*n, *d)
+		check(err)
+		scheme = st
+		opt.SendCap = st.SendCap
+		extra = 40
+	case "gossip":
+		g, err := gossip.New(*n, *d, *gossipDeg, gossip.PullOldest, *seed)
+		check(err)
+		scheme = g
+		opt.Mode = core.Live
+		opt.AllowIncomplete = true
+		extra = core.Slot(12**n / *d + 100)
+	default:
+		fatalf("unknown scheme %q", *schemeName)
+	}
+
+	win := core.Packet(*packets)
+	if win == 0 {
+		win = core.Packet(4 * *d)
+	}
+	opt.Packets = win
+	opt.Slots = core.Slot(win) + extra
+
+	if *engineName == "runtime" {
+		rres, err := runtime.Execute(scheme, runtime.Options{
+			Slots: opt.Slots, Packets: opt.Packets, Mode: opt.Mode,
+		})
+		check(err)
+		fmt.Printf("scheme:        %s (goroutine runtime)\n", scheme.Name())
+		fmt.Printf("receivers:     %d\n", scheme.NumReceivers())
+		fmt.Printf("worst delay:   %d slots\n", rres.WorstStart())
+		fmt.Printf("worst buffer:  %d packets\n", rres.WorstBuffer())
+		fmt.Printf("warmup rebuf:  %d\n", rres.TotalHiccups())
+		return
+	}
+
+	var (
+		res *slotsim.Result
+		err error
+	)
+	if *parallel {
+		res, err = slotsim.RunParallel(scheme, opt, *workers)
+	} else {
+		res, err = slotsim.Run(scheme, opt)
+	}
+	check(err)
+	report(scheme, res)
+}
+
+func runCluster(k, dd, tc, n, d int, constr multitree.Construction) {
+	s, err := cluster.New(cluster.Config{
+		K: k, D: dd, Tc: core.Slot(tc), ClusterSize: n,
+		Degree: d, Intra: cluster.MultiTree, Construction: constr,
+	})
+	check(err)
+	res, worst, avg, err := s.Run(core.Packet(3*d), core.Slot(40+8*d))
+	check(err)
+	fmt.Printf("scheme:        %s\n", s.Name())
+	fmt.Printf("receivers:     %d (over %d clusters)\n", k*n, k)
+	fmt.Printf("worst delay:   %d slots (receivers only)\n", worst)
+	fmt.Printf("avg delay:     %.2f slots (receivers only)\n", avg)
+	fmt.Printf("worst buffer:  %d packets\n", res.WorstBuffer())
+	fmt.Printf("slots used:    %d\n", res.SlotsUsed)
+}
+
+func report(s core.Scheme, res *slotsim.Result) {
+	fmt.Printf("scheme:        %s\n", s.Name())
+	fmt.Printf("receivers:     %d\n", s.NumReceivers())
+	fmt.Printf("worst delay:   %d slots\n", res.WorstStartDelay())
+	fmt.Printf("avg delay:     %.2f slots\n", res.AvgStartDelay())
+	fmt.Printf("worst buffer:  %d packets\n", res.WorstBuffer())
+	maxNb := 0
+	for _, nb := range s.Neighbors() {
+		if len(nb) > maxNb {
+			maxNb = len(nb)
+		}
+	}
+	fmt.Printf("max neighbors: %d\n", maxNb)
+	fmt.Printf("slots used:    %d\n", res.SlotsUsed)
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "streamsim: "+format+"\n", args...)
+	os.Exit(1)
+}

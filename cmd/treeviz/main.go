@@ -1,0 +1,83 @@
+// Command treeviz prints the constructions and schedules behind the
+// paper's figures:
+//
+//	treeviz -fig 1                    cluster super-tree (Figure 1)
+//	treeviz -fig 2 -node 6            per-node schedule (Figure 2)
+//	treeviz -fig 3                    interior-disjoint trees (Figure 3)
+//	treeviz -fig 4                    delay-vs-N ASCII chart (Figure 4)
+//	treeviz -fig 5                    hypercube buffer trace (Figures 5/6)
+//	treeviz -fig 7                    hypercube pairing pattern (Figure 7)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamcast/internal/core"
+	"streamcast/internal/multitree"
+	"streamcast/internal/trace"
+)
+
+func main() {
+	var (
+		fig  = flag.Int("fig", 3, "figure to render: 1, 2, 3, 4, 5, 7")
+		n    = flag.Int("n", 15, "receivers (figs 2, 3)")
+		d    = flag.Int("d", 3, "tree degree (figs 1, 2, 3)")
+		node = flag.Int("node", 6, "node id (fig 2)")
+		k    = flag.Int("k", 3, "hypercube dimension (figs 5, 7)")
+		kk   = flag.Int("K", 9, "clusters (fig 1)")
+		dd   = flag.Int("D", 3, "backbone degree (fig 1)")
+		c    = flag.String("construction", "both", "greedy | structured | both (figs 2, 3)")
+	)
+	flag.Parse()
+
+	switch *fig {
+	case 1:
+		fmt.Print(trace.ClusterTree(*kk, *dd, *d))
+	case 2:
+		for _, constr := range pick(*c) {
+			m, err := multitree.New(*n, *d, constr)
+			check(err)
+			fmt.Printf("-- %s construction --\n", constr)
+			fmt.Print(trace.NodeSchedule(multitree.NewScheme(m, core.PreRecorded), core.NodeID(*node)))
+		}
+	case 3:
+		for _, constr := range pick(*c) {
+			m, err := multitree.New(*n, *d, constr)
+			check(err)
+			fmt.Printf("-- %s construction (N=%d, d=%d) --\n", constr, *n, *d)
+			fmt.Print(trace.Trees(m))
+		}
+	case 4:
+		out, err := trace.DelayCurves(2000, 200, []int{2, 3, 4, 5})
+		check(err)
+		fmt.Print(out)
+	case 5, 6:
+		out, err := trace.HypercubeBufferTrace(*k, core.Slot(2**k), core.Slot(2**k+2))
+		check(err)
+		fmt.Print(out)
+	case 7:
+		fmt.Print(trace.HypercubePairs(*k))
+	default:
+		check(fmt.Errorf("unknown figure %d", *fig))
+	}
+}
+
+func pick(c string) []multitree.Construction {
+	switch c {
+	case "greedy":
+		return []multitree.Construction{multitree.Greedy}
+	case "structured":
+		return []multitree.Construction{multitree.Structured}
+	default:
+		return []multitree.Construction{multitree.Structured, multitree.Greedy}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "treeviz: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,14 @@
+// Package streamcast reproduces "On the Tradeoff Between Playback Delay
+// and Buffer Space in Streaming" (Chow, Golubchik, Khuller, Yao; USC CS TR
+// 904 / IPPS 2009): multi-tree and hypercube-based streaming overlays with
+// provable playback-delay and buffer-space guarantees, a slot-synchronous
+// network simulator that executes and validates their transmission
+// schedules, the multi-cluster super-tree composition, the appendix churn
+// algorithms, and the NP-completeness reduction for interior-disjoint
+// trees on arbitrary graphs.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for the paper-vs-measured
+// record. The top-level benchmarks in bench_test.go regenerate every table
+// and figure of the paper's evaluation.
+package streamcast

@@ -1,0 +1,68 @@
+// Wire-level streaming: executes the multi-tree and hypercube schedules as
+// a real concurrent system — one goroutine per receiver, binary frames with
+// CRC32 integrity moving over net.Pipe connections — and verifies that
+// every node reassembles the exact byte stream, starting playback at the
+// slot the paper's analysis predicts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamcast/internal/core"
+	"streamcast/internal/hypercube"
+	"streamcast/internal/multitree"
+	"streamcast/internal/runtime"
+)
+
+func main() {
+	const (
+		n       = 40
+		d       = 3
+		packets = 12
+		payload = 1400 // bytes per packet, the paper's MPEG-1 example
+	)
+
+	// Multi-tree over net.Pipe connections.
+	trees, err := multitree.New(n, d, multitree.Greedy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mt := multitree.NewScheme(trees, core.Live)
+	res, err := runtime.Execute(mt, runtime.Options{
+		Slots:       core.Slot(trees.Height()*d + packets + 2*d),
+		Packets:     packets,
+		PayloadSize: payload,
+		Mode:        core.Live,
+		Transport:   runtime.NewPipeTransport(n, 8),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("multi-tree over net.Pipe", n, packets, payload, res)
+
+	// Chained hypercube over in-process channels.
+	hc, err := hypercube.New(n, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hres, err := runtime.Execute(hc, runtime.Options{
+		Slots:       core.Slot(packets + 60),
+		Packets:     packets,
+		PayloadSize: payload,
+		Mode:        core.Live,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("hypercube over channels", n, packets, payload, hres)
+}
+
+func report(title string, n, packets, payload int, res *runtime.Result) {
+	fmt.Printf("%s:\n", title)
+	fmt.Printf("  %d nodes each reassembled %d packets (%d KiB of verified payload)\n",
+		n, packets, n*packets*payload/1024)
+	fmt.Printf("  worst playback start: slot %d; peak buffer: %d packets; warmup re-buffers: %d\n",
+		res.WorstStart(), res.WorstBuffer(), res.TotalHiccups())
+	fmt.Println()
+}

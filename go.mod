@@ -1,0 +1,3 @@
+module streamcast
+
+go 1.22

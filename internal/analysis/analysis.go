@@ -1,0 +1,150 @@
+// Package analysis provides the paper's closed-form bounds and the tree
+// degree optimization of Section 2.3, used by the experiments to compare
+// measured behaviour against theory.
+package analysis
+
+import "math"
+
+// TreeHeight returns h for the multi-tree scheme: the smallest h with
+// d + d² + … + d^h >= N, i.e. h = ⌈log_d(N(1−1/d)+1)⌉ for complete trees
+// (Theorem 2).
+func TreeHeight(n, d int) int {
+	if n < 1 || d < 2 {
+		return 0
+	}
+	h, capacity, level := 0, 0, 1
+	for capacity < n {
+		level *= d
+		capacity += level
+		h++
+	}
+	return h
+}
+
+// Theorem2Bound returns the worst-case playback delay upper bound h·d of
+// Theorem 2.
+func Theorem2Bound(n, d int) int {
+	return TreeHeight(n, d) * d
+}
+
+// BufferBound returns the sufficient per-node buffer size h·d packets from
+// Section 2.3.
+func BufferBound(n, d int) int {
+	return Theorem2Bound(n, d)
+}
+
+// DegreeF evaluates F(d) = d · log_d(N(1−1/d)), the large-N approximation
+// of the worst-case delay minimized in Section 2.3.
+func DegreeF(n, d int) float64 {
+	if n < 2 || d < 2 {
+		return 0
+	}
+	x := float64(n) * (1 - 1/float64(d))
+	return float64(d) * math.Log(x) / math.Log(float64(d))
+}
+
+// OptimalDegree returns the integer degree d in [2, maxD] minimizing the
+// exact Theorem 2 bound h·d, breaking ties toward the smaller degree. The
+// paper proves the optimum is always 2 or 3.
+func OptimalDegree(n, maxD int) int {
+	best, bestVal := 2, Theorem2Bound(n, 2)
+	for d := 3; d <= maxD; d++ {
+		if v := Theorem2Bound(n, d); v < bestVal {
+			best, bestVal = d, v
+		}
+	}
+	return best
+}
+
+// OptimalDegreeF returns the degree minimizing the smooth approximation
+// F(d) over [2, maxD].
+func OptimalDegreeF(n, maxD int) int {
+	best, bestVal := 2, DegreeF(n, 2)
+	for d := 3; d <= maxD; d++ {
+		if v := DegreeF(n, d); v < bestVal {
+			best, bestVal = d, v
+		}
+	}
+	return best
+}
+
+// Theorem3LowerBound returns the lower bound on the average playback delay
+// of the multi-tree scheme for complete trees (Theorem 3, with the /2 from
+// the proof's leaf-delay symmetry argument):
+//
+//	avg >= [ d^h·(d+1)(h−1)/2 − d²(h−2) − d(d+1)/2 ] / (N(d−1))
+func Theorem3LowerBound(n, d int) float64 {
+	if n < 2 || d < 2 {
+		return 0
+	}
+	h := float64(TreeHeight(n, d))
+	df := float64(d)
+	num := math.Pow(df, h)*(df+1)*(h-1)/2 - df*df*(h-2) - df*(df+1)/2
+	return num / (float64(n) * (df - 1))
+}
+
+// Theorem1Bound returns the multi-cluster worst-case delay estimate of
+// Theorem 1: Tc·⌈log_{D−1}K⌉ + Ti·d·(h−1), where h is the maximum height
+// of the intra-cluster trees.
+func Theorem1Bound(k, dd int, tc, ti, d, h int) int {
+	if k < 1 || dd < 3 {
+		return 0
+	}
+	// Depth of the backbone tree: root has D children, interior nodes
+	// D−1; the smallest depth β with D·(D−1)^(β−1) cumulative coverage
+	// >= K.
+	depth, covered, level := 0, 0, 1
+	for covered < k {
+		if depth == 0 {
+			level = dd
+		} else {
+			level *= dd - 1
+		}
+		covered += level
+		depth++
+	}
+	return tc*depth + ti*d*(h-1)
+}
+
+// Proposition1Delay returns the single-cube playback start bound for
+// N = 2^k − 1: slot k.
+func Proposition1Delay(k int) int { return k }
+
+// Proposition1Buffer returns the single-cube buffer bound: 2 packets.
+func Proposition1Buffer() int { return 2 }
+
+// ChainDims returns the hypercube chain decomposition for n receivers: the
+// first cube takes 2^⌊log2(n+1)⌋ − 1 nodes and the construction recurses on
+// the remainder (Section 3.2).
+func ChainDims(n int) []int {
+	var dims []int
+	for n > 0 {
+		k := 0
+		for 1<<(k+1)-1 <= n {
+			k++
+		}
+		dims = append(dims, k)
+		n -= 1<<k - 1
+	}
+	return dims
+}
+
+// Proposition2WorstDelay returns the exact worst-case playback start slot of
+// the chained-hypercube scheme: the sum of the chained cube dimensions
+// (each cube starts k_i slots after its predecessor and adds its own k).
+func Proposition2WorstDelay(n int) int {
+	sum := 0
+	for _, k := range ChainDims(n) {
+		sum += k
+	}
+	return sum
+}
+
+// Theorem4Bound returns the average-delay upper bound 2·log2(N) for chained
+// hypercube streaming.
+func Theorem4Bound(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return 2 * math.Log2(float64(n))
+}

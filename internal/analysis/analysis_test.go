@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTreeHeight(t *testing.T) {
+	cases := []struct{ n, d, h int }{
+		{1, 2, 1}, {2, 2, 1}, {3, 2, 2}, {6, 2, 2}, {7, 2, 3}, {14, 2, 3},
+		{15, 3, 3}, {12, 3, 2}, {3, 3, 1}, {2000, 2, 10}, {2000, 5, 5},
+	}
+	for _, c := range cases {
+		if got := TreeHeight(c.n, c.d); got != c.h {
+			t.Errorf("TreeHeight(%d,%d)=%d, want %d", c.n, c.d, got, c.h)
+		}
+	}
+	// Closed form: h = ceil(log_d(N(1-1/d)+1)) for N where trees matter.
+	for d := 2; d <= 6; d++ {
+		for n := d; n <= 3000; n += 7 {
+			want := int(math.Ceil(math.Log(float64(n)*(1-1/float64(d))+1)/math.Log(float64(d)) - 1e-9))
+			if got := TreeHeight(n, d); got != want {
+				// Floating point can land exactly on integer boundaries;
+				// accept +-0 only.
+				t.Fatalf("TreeHeight(%d,%d)=%d, closed form %d", n, d, got, want)
+			}
+		}
+	}
+}
+
+// TestDegreeOptimality reproduces the Section 2.3 result: for every N the
+// optimal degree under the smooth bound F is 2 or 3, and for sufficiently
+// large N it is 3.
+func TestDegreeOptimality(t *testing.T) {
+	for n := 4; n <= 100000; n = n*3/2 + 1 {
+		if d := OptimalDegreeF(n, 16); d != 2 && d != 3 {
+			t.Errorf("N=%d: optimal degree (smooth) %d, want 2 or 3", n, d)
+		}
+	}
+	if d := OptimalDegreeF(1_000_000, 16); d != 3 {
+		t.Errorf("large N: optimal smooth degree %d, want 3", d)
+	}
+}
+
+// TestTheorem3BelowTheorem2 sanity-checks that the average lower bound does
+// not exceed the worst-case upper bound.
+func TestTheorem3BelowTheorem2(t *testing.T) {
+	for d := 2; d <= 5; d++ {
+		for _, n := range []int{10, 50, 100, 500, 2000} {
+			lo := Theorem3LowerBound(n, d)
+			hi := float64(Theorem2Bound(n, d))
+			if lo > hi {
+				t.Errorf("N=%d d=%d: avg lower bound %.2f > worst upper bound %.2f", n, d, lo, hi)
+			}
+			if lo < 0 {
+				t.Errorf("N=%d d=%d: negative lower bound %.2f", n, d, lo)
+			}
+		}
+	}
+}
+
+func TestChainDims(t *testing.T) {
+	for n := 1; n <= 3000; n++ {
+		dims := ChainDims(n)
+		sum := 0
+		for i, k := range dims {
+			if k < 1 {
+				t.Fatalf("n=%d: dim %d", n, k)
+			}
+			if i > 0 && k > dims[i-1] {
+				t.Fatalf("n=%d: dims %v not non-increasing", n, dims)
+			}
+			sum += 1<<k - 1
+		}
+		if sum != n {
+			t.Fatalf("n=%d: dims %v cover %d nodes", n, dims, sum)
+		}
+	}
+}
+
+// TestProposition2WorstDelayIsOLog2 checks the O(log² N) shape: the worst
+// chained delay never exceeds (log2(N+1)+1)² / 2 and grows superlinearly in
+// log N for adversarial N (all-ones binary representations).
+func TestProposition2WorstDelayIsOLog2(t *testing.T) {
+	for n := 1; n <= 100000; n = n*2 + 1 {
+		w := Proposition2WorstDelay(n)
+		lg := math.Log2(float64(n + 1))
+		if float64(w) > (lg+1)*(lg+1)/2+1 {
+			t.Errorf("N=%d: worst delay %d above (log+1)^2/2", n, w)
+		}
+	}
+}
+
+func TestTheorem1Bound(t *testing.T) {
+	// K=9 clusters, D=3: backbone depth 2 (3 + 6 >= 9).
+	if got := Theorem1Bound(9, 3, 10, 1, 4, 3); got != 10*2+1*4*2 {
+		t.Errorf("Theorem1Bound = %d, want %d", got, 28)
+	}
+	// Single cluster: depth 1.
+	if got := Theorem1Bound(1, 3, 10, 1, 2, 5); got != 10+8 {
+		t.Errorf("Theorem1Bound K=1 = %d, want 18", got)
+	}
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import "testing"
+
+// TestBufferBound: the buffer bound equals the Theorem 2 delay bound.
+func TestBufferBound(t *testing.T) {
+	for _, n := range []int{10, 100, 1000} {
+		for d := 2; d <= 5; d++ {
+			if BufferBound(n, d) != Theorem2Bound(n, d) {
+				t.Errorf("BufferBound(%d,%d) != Theorem2Bound", n, d)
+			}
+		}
+	}
+}
+
+// TestProposition1 covers the single-cube constants.
+func TestProposition1(t *testing.T) {
+	if Proposition1Delay(5) != 5 {
+		t.Error("Proposition1Delay")
+	}
+	if Proposition1Buffer() != 2 {
+		t.Error("Proposition1Buffer")
+	}
+}
+
+// TestOptimalDegreeExact: the exact (h·d) optimizer also lands on 2 or 3.
+func TestOptimalDegreeExact(t *testing.T) {
+	for _, n := range []int{5, 20, 100, 1000, 10000} {
+		if d := OptimalDegree(n, 8); d != 2 && d != 3 {
+			t.Errorf("N=%d: exact optimal degree %d", n, d)
+		}
+	}
+}
+
+// TestDegenerateInputs: the bound functions are total on degenerate input.
+func TestDegenerateInputs(t *testing.T) {
+	if TreeHeight(0, 3) != 0 || TreeHeight(5, 1) != 0 {
+		t.Error("TreeHeight degenerate")
+	}
+	if DegreeF(1, 3) != 0 || DegreeF(10, 1) != 0 {
+		t.Error("DegreeF degenerate")
+	}
+	if Theorem3LowerBound(1, 3) != 0 || Theorem3LowerBound(10, 1) != 0 {
+		t.Error("Theorem3LowerBound degenerate")
+	}
+	if Theorem1Bound(0, 3, 1, 1, 2, 2) != 0 || Theorem1Bound(3, 2, 1, 1, 2, 2) != 0 {
+		t.Error("Theorem1Bound degenerate")
+	}
+	if Theorem4Bound(1) != 0 {
+		t.Error("Theorem4Bound degenerate")
+	}
+}
+
+// TestTheorem4MonotoneInN: the average-delay bound grows with N.
+func TestTheorem4MonotoneInN(t *testing.T) {
+	prev := 0.0
+	for n := 2; n < 5000; n *= 3 {
+		b := Theorem4Bound(n)
+		if b <= prev {
+			t.Errorf("Theorem4Bound(%d)=%f not increasing", n, b)
+		}
+		prev = b
+	}
+}

@@ -1,0 +1,30 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"streamcast/internal/analysis"
+)
+
+// Example evaluates the Section 2.3 degree optimization: for large N the
+// optimal tree degree is 3, and it is never outside {2, 3}.
+func Example() {
+	for _, n := range []int{100, 1000, 100000} {
+		fmt.Printf("N=%d: thm2(d=2)=%d thm2(d=3)=%d optimal=%d\n",
+			n, analysis.Theorem2Bound(n, 2), analysis.Theorem2Bound(n, 3),
+			analysis.OptimalDegreeF(n, 10))
+	}
+	// Output:
+	// N=100: thm2(d=2)=12 thm2(d=3)=12 optimal=2
+	// N=1000: thm2(d=2)=18 thm2(d=3)=18 optimal=3
+	// N=100000: thm2(d=2)=32 thm2(d=3)=33 optimal=3
+}
+
+// ExampleChainDims shows the hypercube chain decomposition.
+func ExampleChainDims() {
+	fmt.Println(analysis.ChainDims(1000))
+	fmt.Println(analysis.Proposition2WorstDelay(1000))
+	// Output:
+	// [9 8 7 6 5 3 2 2]
+	// 42
+}

@@ -1,0 +1,180 @@
+// Package baseline implements the two strawman schemes from the paper's
+// introduction, used as comparison points for the multi-tree and hypercube
+// schemes:
+//
+//   - Chain: the receivers form a list behind the source. Buffering is O(1)
+//     but playback delay is O(N) — "unacceptable for all but a few nodes".
+//   - SingleTree: one b-ary tree rooted at the source. Playback delay is
+//     O(log_b N) with O(1) buffers, but every interior node must upload b
+//     packets per slot — b times the stream rate — while the leaves (about
+//     a (b−1)/b fraction of the system) upload nothing.
+//
+// Both implement core.Scheme. SingleTree deliberately violates the paper's
+// one-send-per-slot receiver model; SendCap exposes the elevated per-node
+// capacity it needs so the simulator can be configured to admit it, and
+// UploadFactor quantifies the violation.
+package baseline
+
+import (
+	"fmt"
+
+	"streamcast/internal/core"
+)
+
+// Chain is the linked-list scheme: S → 1 → 2 → … → N.
+type Chain struct {
+	N int
+}
+
+var _ core.Scheme = (*Chain)(nil)
+
+// NewChain builds a chain over n receivers.
+func NewChain(n int) (*Chain, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("baseline: n must be >= 1, got %d", n)
+	}
+	return &Chain{N: n}, nil
+}
+
+// Name implements core.Scheme.
+func (c *Chain) Name() string { return "chain" }
+
+// NumReceivers implements core.Scheme.
+func (c *Chain) NumReceivers() int { return c.N }
+
+// SourceCapacity implements core.Scheme.
+func (c *Chain) SourceCapacity() int { return 1 }
+
+// Transmissions implements core.Scheme: the source emits packet t at slot t
+// and node i relays the packet it received in the previous slot.
+func (c *Chain) Transmissions(t core.Slot) []core.Transmission {
+	out := make([]core.Transmission, 0, c.N)
+	out = append(out, core.Transmission{From: core.SourceID, To: 1, Packet: core.Packet(t)})
+	for i := 1; i < c.N; i++ {
+		pkt := core.Packet(t - core.Slot(i))
+		if pkt < 0 {
+			break
+		}
+		out = append(out, core.Transmission{
+			From: core.NodeID(i), To: core.NodeID(i + 1), Packet: pkt,
+		})
+	}
+	return out
+}
+
+// Neighbors implements core.Scheme: each node talks to its predecessor and
+// successor only.
+func (c *Chain) Neighbors() map[core.NodeID][]core.NodeID {
+	out := make(map[core.NodeID][]core.NodeID, c.N)
+	for i := 1; i <= c.N; i++ {
+		var nb []core.NodeID
+		nb = append(nb, core.NodeID(i-1)) // NodeID(0) is the source
+		if i < c.N {
+			nb = append(nb, core.NodeID(i+1))
+		}
+		out[core.NodeID(i)] = nb
+	}
+	return out
+}
+
+// SingleTree is the single b-ary multicast tree scheme: receivers occupy
+// breadth-first positions 1..N below the source, and every interior node
+// forwards each packet to all of its children in the slot after receiving
+// it.
+type SingleTree struct {
+	N int
+	B int
+}
+
+var _ core.Scheme = (*SingleTree)(nil)
+
+// NewSingleTree builds a b-ary tree over n receivers.
+func NewSingleTree(n, b int) (*SingleTree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("baseline: n must be >= 1, got %d", n)
+	}
+	if b < 2 {
+		return nil, fmt.Errorf("baseline: branching must be >= 2, got %d", b)
+	}
+	return &SingleTree{N: n, B: b}, nil
+}
+
+// Name implements core.Scheme.
+func (s *SingleTree) Name() string { return fmt.Sprintf("singletree(b=%d)", s.B) }
+
+// NumReceivers implements core.Scheme.
+func (s *SingleTree) NumReceivers() int { return s.N }
+
+// SourceCapacity implements core.Scheme.
+func (s *SingleTree) SourceCapacity() int { return s.B }
+
+// depth returns the number of edges from the source to position p.
+func (s *SingleTree) depth(p int) core.Slot {
+	var d core.Slot
+	for p > 0 {
+		p = (p - 1) / s.B
+		d++
+	}
+	return d
+}
+
+// Transmissions implements core.Scheme: position p receives packet j at slot
+// j + depth(p) − 1.
+func (s *SingleTree) Transmissions(t core.Slot) []core.Transmission {
+	out := make([]core.Transmission, 0, s.N)
+	for p := 1; p <= s.N; p++ {
+		pkt := core.Packet(t - s.depth(p) + 1)
+		if pkt < 0 {
+			continue
+		}
+		parent := (p - 1) / s.B
+		out = append(out, core.Transmission{
+			From: core.NodeID(parent), To: core.NodeID(p), Packet: pkt,
+		})
+	}
+	return out
+}
+
+// Neighbors implements core.Scheme.
+func (s *SingleTree) Neighbors() map[core.NodeID][]core.NodeID {
+	out := make(map[core.NodeID][]core.NodeID, s.N)
+	for p := 1; p <= s.N; p++ {
+		nb := []core.NodeID{core.NodeID((p - 1) / s.B)}
+		for c := 0; c < s.B; c++ {
+			child := s.B*p + 1 + c
+			if child <= s.N {
+				nb = append(nb, core.NodeID(child))
+			}
+		}
+		out[core.NodeID(p)] = nb
+	}
+	return out
+}
+
+// SendCap returns the per-node send capacity this scheme requires: b for
+// every node with at least one child, 0 upload for leaves.
+func (s *SingleTree) SendCap(id core.NodeID) int {
+	if id == core.SourceID {
+		return s.B
+	}
+	if s.B*int(id)+1 <= s.N {
+		return s.B
+	}
+	return 1
+}
+
+// UploadFactor returns how much more upload capacity an interior node needs
+// than the streaming rate: exactly b.
+func (s *SingleTree) UploadFactor() int { return s.B }
+
+// LeafFraction returns the fraction of receivers that contribute no upload
+// at all.
+func (s *SingleTree) LeafFraction() float64 {
+	leaves := 0
+	for p := 1; p <= s.N; p++ {
+		if s.B*p+1 > s.N {
+			leaves++
+		}
+	}
+	return float64(leaves) / float64(s.N)
+}

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"testing"
+
+	"streamcast/internal/core"
+	"streamcast/internal/slotsim"
+)
+
+// TestClusterNeighborsConsistent: declared neighbor sets cover the
+// backbone, the S_i→S'_i links, and the remapped intra-cluster edges for
+// both intra kinds.
+func TestClusterNeighborsConsistent(t *testing.T) {
+	for _, intra := range []IntraKind{MultiTree, Hypercube} {
+		s, err := New(Config{
+			K: 7, D: 3, Tc: 4, ClusterSize: 9, Degree: 2, Intra: intra,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := slotsim.VerifyNeighbors(s, 120); err != nil {
+			t.Errorf("%s: %v", intra, err)
+		}
+		nb := s.Neighbors()
+		// S_1's backbone set includes the source, its children, S'_1.
+		set := map[core.NodeID]bool{}
+		for _, x := range nb[s.SuperID(0)] {
+			set[x] = true
+		}
+		if !set[core.SourceID] {
+			t.Errorf("%s: S_1 missing source neighbor", intra)
+		}
+		if !set[s.LocalRootID(0)] {
+			t.Errorf("%s: S_1 missing S'_1 neighbor", intra)
+		}
+		if !set[s.SuperID(3)] || !set[s.SuperID(4)] {
+			t.Errorf("%s: S_1 missing backbone children", intra)
+		}
+	}
+}
+
+// TestHypercubeIntraEndToEnd gives the hypercube intra path a deeper
+// workout with heterogeneous sizes.
+func TestHypercubeIntraEndToEnd(t *testing.T) {
+	s, err := New(Config{
+		K: 4, D: 3, Tc: 6, ClusterSizes: []int{3, 17, 8, 25}, Degree: 1,
+		Intra: Hypercube,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, worst, avg, err := s.Run(8, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst < 6 || avg <= 0 {
+		t.Errorf("degenerate: worst=%d avg=%.2f", worst, avg)
+	}
+	// Hypercube receivers keep the 2-packet buffer even behind the
+	// backbone.
+	for _, id := range s.ReceiverIDs() {
+		if b := res.MaxBuffer[id]; b > 2 {
+			t.Errorf("receiver %d buffer %d > 2", id, b)
+		}
+	}
+}
+
+// TestIntraKindString covers the stringer.
+func TestIntraKindString(t *testing.T) {
+	if MultiTree.String() != "multitree" || Hypercube.String() != "hypercube" {
+		t.Error("IntraKind.String broken")
+	}
+}

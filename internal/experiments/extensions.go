@@ -1,0 +1,383 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamcast/internal/analysis"
+	"streamcast/internal/core"
+	"streamcast/internal/gossip"
+	"streamcast/internal/hypercube"
+	"streamcast/internal/mdc"
+	"streamcast/internal/multitree"
+	"streamcast/internal/session"
+	"streamcast/internal/slotsim"
+	"streamcast/internal/stats"
+)
+
+// DelayDistribution extends Figure 4 / Table 1 with full per-node playback
+// delay distributions (the paper reports worst case and mean; percentiles
+// expose how the two schemes spread delay across the swarm).
+func DelayDistribution(ns []int, d int) (*Table, error) {
+	t := &Table{
+		ID:    "delaydist",
+		Title: fmt.Sprintf("per-node playback delay distribution, d=%d", d),
+		Columns: []string{
+			"N", "scheme", "min", "p50", "mean", "p90", "p99", "max", "histogram",
+		},
+	}
+	addRow := func(n int, name string, delays []float64) {
+		s := stats.Summarize(delays)
+		hist := stats.Sparkline(stats.Histogram(delays, 12))
+		t.AddRow(n, name, s.Min, s.P50, s.Mean, s.P90, s.P99, s.Max, hist)
+	}
+	for _, n := range ns {
+		_, res, err := multitreeResult(n, d, multitree.Greedy, core.PreRecorded)
+		if err != nil {
+			return nil, err
+		}
+		delays := make([]float64, 0, n)
+		for id := 1; id <= n; id++ {
+			delays = append(delays, float64(res.StartDelay[id]))
+		}
+		addRow(n, "multi-tree", delays)
+
+		_, hres, err := hypercubeResult(n, 1)
+		if err != nil {
+			return nil, err
+		}
+		delays = delays[:0]
+		for id := 1; id <= n; id++ {
+			delays = append(delays, float64(hres.StartDelay[id]))
+		}
+		addRow(n, "hypercube", delays)
+	}
+	return t, nil
+}
+
+// StructuredVsUnstructured contrasts the paper's provable-QoS schemes with
+// an unstructured best-effort pull mesh at equal N and source capacity: the
+// mesh's delay tail (p99/max) blows past the multi-tree's h·d guarantee,
+// and stragglers may still be missing packets when the horizon ends — the
+// paper's core argument for structured construction.
+func StructuredVsUnstructured(ns []int, d int) (*Table, error) {
+	t := &Table{
+		ID:    "unstructured",
+		Title: fmt.Sprintf("structured (provable QoS) vs gossip (best effort), d=%d", d),
+		Columns: []string{
+			"N", "scheme", "avg delay", "p99 delay", "max delay", "holes", "provable bound",
+		},
+	}
+	for _, n := range ns {
+		_, res, err := multitreeResult(n, d, multitree.Greedy, core.PreRecorded)
+		if err != nil {
+			return nil, err
+		}
+		delays := make([]float64, 0, n)
+		for id := 1; id <= n; id++ {
+			delays = append(delays, float64(res.StartDelay[id]))
+		}
+		sum := stats.Summarize(delays)
+		t.AddRow(n, "multi-tree", sum.Mean, sum.P99, sum.Max,
+			0, fmt.Sprintf("h*d = %d", analysis.Theorem2Bound(n, d)))
+
+		g, err := gossip.New(n, d, 5, gossip.PullOldest, 42)
+		if err != nil {
+			return nil, err
+		}
+		horizon := core.Slot(12*n/d + 100)
+		gres, err := slotsim.Run(g, slotsim.Options{
+			Slots:           horizon,
+			Packets:         core.Packet(3 * d),
+			Mode:            core.Live,
+			AllowIncomplete: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		delays = delays[:0]
+		holes := 0
+		for id := 1; id <= n; id++ {
+			delays = append(delays, float64(gres.StartDelay[id]))
+			holes += gres.Missing[id]
+		}
+		sum = stats.Summarize(delays)
+		t.AddRow(n, "gossip pull", sum.Mean, sum.P99, sum.Max, holes, "none (best effort)")
+	}
+	return t, nil
+}
+
+// MidStreamSwaps measures the blast radius of churn swaps applied while
+// packets are in flight (internal/session): a leaf↔leaf swap perturbs only
+// the two members, an interior↔leaf swap additionally glitches the interior
+// position's subtree for one transition window — the dynamic counterpart of
+// the static ChurnImpact analysis.
+func MidStreamSwaps(n, d int) (*Table, error) {
+	t := &Table{
+		ID:    "midstream",
+		Title: fmt.Sprintf("mid-stream swap blast radius, N=%d d=%d", n, d),
+		Columns: []string{
+			"swap kind", "members w/ hiccups", "total hiccups", "max per member",
+		},
+	}
+	m, err := multitree.New(n, d, multitree.Greedy)
+	if err != nil {
+		return nil, err
+	}
+	base := multitree.NewScheme(m, core.PreRecorded)
+	packets := core.Packet(12 * d)
+	slots := core.Slot(m.Height()*d) + core.Slot(packets) + 24
+	swapSlot := core.Slot(m.Height()*d + 7)
+
+	// Two real all-leaf members (leaves in every tree): scan the tail of
+	// T_0 from the back, skipping padding dummies.
+	var allLeaf []core.NodeID
+	for p := m.NP; p > m.NP-d && len(allLeaf) < 2; p-- {
+		if id := m.Trees[0][p-1]; !m.IsDummy(id) {
+			allLeaf = append(allLeaf, id)
+		}
+	}
+	if len(allLeaf) < 2 {
+		return nil, fmt.Errorf("experiments: N=%d d=%d has fewer than two real all-leaf members; pick N with N mod d >= 2 or d | N", n, d)
+	}
+	leafA, leafB := allLeaf[0], allLeaf[1]
+	interior := m.Trees[0][0]
+
+	cases := []struct {
+		label string
+		swaps []session.Swap
+	}{
+		{"none (control)", nil},
+		{"leaf <-> leaf", []session.Swap{{Slot: swapSlot, A: leafA, B: leafB}}},
+		{"interior <-> leaf", []session.Swap{{Slot: swapSlot, A: interior, B: leafA}}},
+	}
+	for _, c := range cases {
+		s, err := session.New(base, c.swaps)
+		if err != nil {
+			return nil, err
+		}
+		res, err := slotsim.Run(s, slotsim.Options{
+			Slots: slots, Packets: packets,
+			AllowIncomplete: true, AllowDuplicates: true, SkipUnavailable: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		members, total, worst := 0, 0, 0
+		for id := 1; id <= n; id++ {
+			h := res.Hiccups(core.NodeID(id), base.AnalyticStartDelay(core.NodeID(id)))
+			if h > 0 {
+				members++
+				total += h
+				if h > worst {
+					worst = h
+				}
+			}
+		}
+		t.AddRow(c.label, members, total, worst)
+	}
+	return t, nil
+}
+
+// MDCGracefulDegradation measures the Section 1 claim that the multi-tree
+// scheme combines with Multiple Description Coding: under random packet
+// loss and under an interior-node crash, playback without MDC accumulates
+// hiccups while MDC playback degrades smoothly — and thanks to
+// interior-disjointness a single crash costs every node at most one of the
+// d descriptions.
+func MDCGracefulDegradation(n, d int, lossRates []float64, seed int64) (*Table, error) {
+	t := &Table{
+		ID:    "mdc",
+		Title: fmt.Sprintf("MDC over multi-tree, N=%d d=%d", n, d),
+		Columns: []string{
+			"failure", "hiccups w/o MDC (total)", "MDC mean quality", "MDC worst node",
+		},
+	}
+	m, err := multitree.New(n, d, multitree.Greedy)
+	if err != nil {
+		return nil, err
+	}
+	s := multitree.NewScheme(m, core.PreRecorded)
+	rounds := 6
+	run := func(drop func(core.Transmission, core.Slot) bool) (*slotsim.Result, error) {
+		return slotsim.Run(s, slotsim.Options{
+			Slots:           core.Slot(m.Height()*d + (rounds+3)*d),
+			Packets:         core.Packet(rounds * d),
+			Drop:            drop,
+			AllowIncomplete: true,
+			SkipUnavailable: true,
+		})
+	}
+	addRow := func(label string, res *slotsim.Result) {
+		hiccups := 0
+		for id := 1; id <= n; id++ {
+			hiccups += res.Hiccups(core.NodeID(id), res.StartDelay[id])
+		}
+		mean, worst := mdc.SystemQuality(res, d)
+		t.AddRow(label, hiccups, mean, worst)
+	}
+	for _, p := range lossRates {
+		rng := rand.New(rand.NewSource(seed))
+		res, err := run(func(core.Transmission, core.Slot) bool { return rng.Float64() < p })
+		if err != nil {
+			return nil, err
+		}
+		addRow(fmt.Sprintf("%.1f%% random loss", p*100), res)
+	}
+	crashed := m.Trees[0][0]
+	res, err := run(func(tx core.Transmission, _ core.Slot) bool { return tx.From == crashed })
+	if err != nil {
+		return nil, err
+	}
+	addRow("interior node crash", res)
+	return t, nil
+}
+
+// ChurnImpact quantifies the playback-quality impact of churn on the
+// multi-tree scheme (the appendix's "up to d² nodes may suffer hiccups"):
+// over a random workload it reports, per operation, how many surviving
+// members were perturbed, the packets they missed (hiccups) and the stall
+// rounds they absorbed.
+func ChurnImpact(n, d, ops int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:    "churnimpact",
+		Title: fmt.Sprintf("churn-induced playback impact, N=%d d=%d, %d ops", n, d, ops),
+		Columns: []string{
+			"variant", "ops w/ impact", "avg impacted/op", "max impacted/op",
+			"total missed pkts", "total stall rounds", "max |delay change|",
+		},
+	}
+	for _, lazy := range []bool{false, true} {
+		dy, err := multitree.NewDynamic(n, d, lazy)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var opsWithImpact, totalImpacted, maxImpacted, missed, stalls int
+		var maxDelayChange core.Slot
+		for i := 0; i < ops; i++ {
+			mBefore, namesBefore := dy.Snapshot()
+			before := multitree.NewScheme(mBefore, core.PreRecorded)
+			if rng.Intn(2) == 0 || dy.N() <= 2 {
+				_, err = dy.Add(fmt.Sprintf("i-%d", i))
+			} else {
+				names := dy.Names()
+				_, err = dy.Delete(names[rng.Intn(len(names))])
+			}
+			if err != nil {
+				return nil, err
+			}
+			mAfter, namesAfter := dy.Snapshot()
+			after := multitree.NewScheme(mAfter, core.PreRecorded)
+			impacts := multitree.ChurnImpact(before, after, namesBefore, namesAfter)
+			if len(impacts) > 0 {
+				opsWithImpact++
+				totalImpacted += len(impacts)
+				if len(impacts) > maxImpacted {
+					maxImpacted = len(impacts)
+				}
+			}
+			for _, im := range impacts {
+				missed += im.MissedPackets
+				stalls += im.StallRounds
+				dc := im.StartDelayChange
+				if dc < 0 {
+					dc = -dc
+				}
+				if dc > maxDelayChange {
+					maxDelayChange = dc
+				}
+			}
+		}
+		name := "eager"
+		if lazy {
+			name = "lazy"
+		}
+		t.AddRow(name, opsWithImpact, float64(totalImpacted)/float64(ops),
+			maxImpacted, missed, stalls, int(maxDelayChange))
+	}
+	return t, nil
+}
+
+// ChurnComparison contrasts the multi-tree churn algorithms (bounded d+d²
+// swaps per op, Section 4 appendix) with the natural chained-hypercube
+// churn algorithm (cheap off-boundary, catastrophic across 2^k−1
+// boundaries) under an identical random workload — quantifying why the
+// paper calls hypercube dynamics an open problem.
+func ChurnComparison(n, d, ops int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:    "churncmp",
+		Title: fmt.Sprintf("churn cost: multi-tree swaps vs hypercube relocations (%d ops)", ops),
+		Columns: []string{
+			"scheme", "total moves", "avg moves/op", "max moves/op", "worst-case bound",
+		},
+	}
+
+	type op struct {
+		add  bool
+		pick int // victim index among current members for deletes
+	}
+	rng := rand.New(rand.NewSource(seed))
+	size := n
+	workload := make([]op, 0, ops)
+	for i := 0; i < ops; i++ {
+		if rng.Intn(2) == 0 || size <= 2 {
+			workload = append(workload, op{add: true})
+			size++
+		} else {
+			workload = append(workload, op{pick: rng.Intn(size)})
+			size--
+		}
+	}
+
+	// Multi-tree.
+	dy, err := multitree.NewDynamic(n, d, false)
+	if err != nil {
+		return nil, err
+	}
+	total, max := 0, 0
+	for i, o := range workload {
+		var st multitree.OpStats
+		if o.add {
+			st, err = dy.Add(fmt.Sprintf("c-%d", i))
+		} else {
+			names := dy.Names()
+			st, err = dy.Delete(names[o.pick%len(names)])
+		}
+		if err != nil {
+			return nil, err
+		}
+		total += st.Swaps
+		if st.Swaps > max {
+			max = st.Swaps
+		}
+	}
+	t.AddRow(fmt.Sprintf("multi-tree d=%d", d), total, float64(total)/float64(ops),
+		max, fmt.Sprintf("d+d^2 = %d", d+d*d))
+
+	// Chained hypercube.
+	hdy, err := hypercube.NewDynamicHC(n)
+	if err != nil {
+		return nil, err
+	}
+	total, max = 0, 0
+	for i, o := range workload {
+		var moved int
+		if o.add {
+			moved, err = hdy.Add(fmt.Sprintf("c-%d", i))
+		} else {
+			names := hdy.Names()
+			victim := names[core.NodeID(1+o.pick%hdy.N())]
+			moved, err = hdy.Delete(victim)
+		}
+		if err != nil {
+			return nil, err
+		}
+		total += moved
+		if moved > max {
+			max = moved
+		}
+	}
+	t.AddRow("hypercube chain", total, float64(total)/float64(ops), max, "O(N) at 2^k-1 boundaries")
+	return t, nil
+}

@@ -1,0 +1,396 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamcast/internal/analysis"
+	"streamcast/internal/baseline"
+	"streamcast/internal/cluster"
+	"streamcast/internal/core"
+	"streamcast/internal/hypercube"
+	"streamcast/internal/multitree"
+	"streamcast/internal/slotsim"
+)
+
+// simulate runs a scheme over a standard measurement window.
+func simulate(s core.Scheme, packets core.Packet, extraSlots core.Slot, opt slotsim.Options) (*slotsim.Result, error) {
+	opt.Packets = packets
+	opt.Slots = core.Slot(packets) + extraSlots
+	return slotsim.Run(s, opt)
+}
+
+// multitreeResult builds and simulates a multi-tree scheme, returning the
+// engine result.
+func multitreeResult(n, d int, c multitree.Construction, mode core.StreamMode) (*multitree.Scheme, *slotsim.Result, error) {
+	m, err := multitree.New(n, d, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := multitree.NewScheme(m, mode)
+	res, err := simulate(s, core.Packet(3*d), core.Slot(m.Height()*d+4*d+2), slotsim.Options{Mode: mode})
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, res, nil
+}
+
+// hypercubeResult builds and simulates a hypercube scheme.
+func hypercubeResult(n, d int) (*hypercube.Scheme, *slotsim.Result, error) {
+	s, err := hypercube.New(n, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	lg := 1
+	for 1<<lg < n+1 {
+		lg++
+	}
+	res, err := simulate(s, 8, core.Slot((lg+1)*(lg+1)+4), slotsim.Options{Mode: core.Live})
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, res, nil
+}
+
+// Figure4 reproduces the paper's Figure 4: worst-case startup delay (in
+// time slots) versus the number of nodes, for tree degrees 2..5. The paper
+// obtained the curve by simulation; here the schedule's closed form (which
+// the test suite cross-validates against the simulator) is evaluated for
+// every N, and a subset of sizes is additionally measured end to end.
+func Figure4(maxN, step int, degrees []int, construction multitree.Construction) (*Table, error) {
+	t := &Table{
+		ID:    "fig4",
+		Title: "worst-case startup delay vs N (multi-tree)",
+	}
+	t.Columns = append(t.Columns, "N")
+	for _, d := range degrees {
+		t.Columns = append(t.Columns, fmt.Sprintf("degree %d", d))
+	}
+	for n := step; n <= maxN; n += step {
+		row := []interface{}{n}
+		for _, d := range degrees {
+			m, err := multitree.New(n, d, construction)
+			if err != nil {
+				return nil, err
+			}
+			s := multitree.NewScheme(m, core.PreRecorded)
+			var worst core.Slot
+			for id := 1; id <= n; id++ {
+				if v := s.AnalyticStartDelay(core.NodeID(id)); v > worst {
+					worst = v
+				}
+			}
+			row = append(row, int(worst))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Table1 reproduces the paper's Table 1 empirically: maximum delay, average
+// delay, buffer size and neighbor count for the multi-tree scheme, the
+// hypercube scheme at special N = 2^k−1, and the hypercube scheme at
+// arbitrary N.
+func Table1(ns []int, d int) (*Table, error) {
+	t := &Table{
+		ID:    "table1",
+		Title: fmt.Sprintf("multi-tree (d=%d) vs hypercube: measured QoS", d),
+		Columns: []string{
+			"N", "scheme", "max delay", "avg delay", "max buffer", "max neighbors",
+		},
+	}
+	maxNeighbors := func(nb map[core.NodeID][]core.NodeID) int {
+		worst := 0
+		for _, l := range nb {
+			if len(l) > worst {
+				worst = len(l)
+			}
+		}
+		return worst
+	}
+	for _, n := range ns {
+		s, res, err := multitreeResult(n, d, multitree.Greedy, core.PreRecorded)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, "multi-tree", int(res.WorstStartDelay()), res.AvgStartDelay(),
+			res.WorstBuffer(), maxNeighbors(s.Neighbors()))
+
+		// Nearest special size 2^k−1 <= n.
+		k := 1
+		for 1<<(k+1)-1 <= n {
+			k++
+		}
+		special := 1<<k - 1
+		hs, hres, err := hypercubeResult(special, 1)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(special, "hypercube 2^k-1", int(hres.WorstStartDelay()), hres.AvgStartDelay(),
+			hres.WorstBuffer(), maxNeighbors(hs.Neighbors()))
+
+		ha, hares, err := hypercubeResult(n, 1)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, "hypercube chain", int(hares.WorstStartDelay()), hares.AvgStartDelay(),
+			hares.WorstBuffer(), maxNeighbors(ha.Neighbors()))
+
+		hg, hgres, err := hypercubeResult(n, d)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, fmt.Sprintf("hypercube d=%d", d), int(hgres.WorstStartDelay()),
+			hgres.AvgStartDelay(), hgres.WorstBuffer(), maxNeighbors(hg.Neighbors()))
+	}
+	return t, nil
+}
+
+// ClusterExperiment reproduces the Figure 1 / Theorem 1 setting: K clusters
+// with backbone degree D and intra-cluster multi-trees of degree d; the
+// measured end-to-end worst-case delay is compared with the Theorem 1
+// estimate across Tc.
+func ClusterExperiment(k, dd, d, clusterSize int, tcs []int) (*Table, error) {
+	t := &Table{
+		ID:    "cluster",
+		Title: fmt.Sprintf("multi-cluster delay, K=%d D=%d d=%d N/cluster=%d", k, dd, d, clusterSize),
+		Columns: []string{
+			"Tc", "measured worst", "measured avg", "theorem1 estimate",
+		},
+	}
+	h := analysis.TreeHeight(clusterSize, d)
+	for _, tc := range tcs {
+		s, err := cluster.New(cluster.Config{
+			K: k, D: dd, Tc: core.Slot(tc), ClusterSize: clusterSize,
+			Degree: d, Intra: cluster.MultiTree, Construction: multitree.Greedy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		_, worst, avg, err := s.Run(core.Packet(3*d), core.Slot(h*d+6*d))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(tc, int(worst), avg, analysis.Theorem1Bound(k, dd, tc, 1, d, h))
+	}
+	return t, nil
+}
+
+// DelayBounds compares measured worst-case and average delays of the
+// multi-tree scheme against the Theorem 2 upper bound and the Theorem 3
+// average lower bound.
+func DelayBounds(ns []int, degrees []int) (*Table, error) {
+	t := &Table{
+		ID:    "bounds",
+		Title: "multi-tree measured delay vs Theorem 2 / Theorem 3",
+		Columns: []string{
+			"N", "d", "worst measured", "thm2 bound h*d", "avg measured", "thm3 lower",
+		},
+	}
+	for _, n := range ns {
+		for _, d := range degrees {
+			_, res, err := multitreeResult(n, d, multitree.Greedy, core.PreRecorded)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(n, d, int(res.WorstStartDelay()), analysis.Theorem2Bound(n, d),
+				res.AvgStartDelay(), analysis.Theorem3LowerBound(n, d))
+		}
+	}
+	return t, nil
+}
+
+// HypercubeAvgDelay compares the measured average delay of chained
+// hypercube streaming against the Theorem 4 bound 2·log2 N and the exact
+// worst-case chain bound.
+func HypercubeAvgDelay(ns []int) (*Table, error) {
+	t := &Table{
+		ID:    "hcavg",
+		Title: "chained hypercube: measured delay vs Theorem 4",
+		Columns: []string{
+			"N", "cubes", "avg measured", "2*log2(N)", "worst measured", "sum dims",
+		},
+	}
+	for _, n := range ns {
+		s, res, err := hypercubeResult(n, 1)
+		if err != nil {
+			return nil, err
+		}
+		dims := s.CubeDims()[0]
+		t.AddRow(n, fmt.Sprintf("%v", dims), res.AvgStartDelay(), analysis.Theorem4Bound(n),
+			int(res.WorstStartDelay()), analysis.Proposition2WorstDelay(n))
+	}
+	return t, nil
+}
+
+// DegreeOptimization reproduces the Section 2.3 analysis: the smooth bound
+// F(d) per degree and the simulated optimal degree, confirming that degree
+// 2 or 3 is always optimal.
+func DegreeOptimization(ns []int, maxD int) (*Table, error) {
+	t := &Table{
+		ID:    "degree",
+		Title: "tree degree optimization (Section 2.3)",
+	}
+	t.Columns = []string{"N"}
+	for d := 2; d <= maxD; d++ {
+		t.Columns = append(t.Columns, fmt.Sprintf("F(%d)", d))
+	}
+	t.Columns = append(t.Columns, "argmin F", "argmin measured")
+	for _, n := range ns {
+		row := []interface{}{n}
+		for d := 2; d <= maxD; d++ {
+			row = append(row, analysis.DegreeF(n, d))
+		}
+		row = append(row, analysis.OptimalDegreeF(n, maxD))
+		bestD, bestV := 0, core.Slot(1<<30)
+		for d := 2; d <= maxD; d++ {
+			m, err := multitree.New(n, d, multitree.Greedy)
+			if err != nil {
+				return nil, err
+			}
+			s := multitree.NewScheme(m, core.PreRecorded)
+			var worst core.Slot
+			for id := 1; id <= n; id++ {
+				if v := s.AnalyticStartDelay(core.NodeID(id)); v > worst {
+					worst = v
+				}
+			}
+			if worst < bestV {
+				bestD, bestV = d, worst
+			}
+		}
+		row = append(row, bestD)
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Churn measures the appendix dynamics: average and maximum swap counts per
+// operation over a random add/delete workload, for the eager and lazy
+// variants.
+func Churn(n, d, ops int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:    "churn",
+		Title: fmt.Sprintf("node churn over %d ops, start N=%d d=%d", ops, n, d),
+		Columns: []string{
+			"variant", "total swaps", "avg swaps/op", "max swaps/op", "max affected", "final N",
+		},
+	}
+	for _, lazy := range []bool{false, true} {
+		dy, err := multitree.NewDynamic(n, d, lazy)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed))
+		maxSwaps, maxAffected, next := 0, 0, 0
+		for i := 0; i < ops; i++ {
+			var st multitree.OpStats
+			if rng.Intn(2) == 0 || dy.N() <= 2 {
+				next++
+				st, err = dy.Add(fmt.Sprintf("churn-%d", next))
+			} else {
+				names := dy.Names()
+				st, err = dy.Delete(names[rng.Intn(len(names))])
+			}
+			if err != nil {
+				return nil, err
+			}
+			if st.Swaps > maxSwaps {
+				maxSwaps = st.Swaps
+			}
+			if st.Affected > maxAffected {
+				maxAffected = st.Affected
+			}
+		}
+		name := "eager"
+		if lazy {
+			name = "lazy"
+		}
+		t.AddRow(name, dy.TotalSwaps(), float64(dy.TotalSwaps())/float64(ops),
+			maxSwaps, maxAffected, dy.N())
+	}
+	return t, nil
+}
+
+// Baselines compares the chain and single-tree strawmen against the
+// multi-tree and hypercube schemes (the Section 1 motivation).
+func Baselines(ns []int) (*Table, error) {
+	t := &Table{
+		ID:    "baselines",
+		Title: "strawmen vs paper schemes",
+		Columns: []string{
+			"N", "scheme", "max delay", "max buffer", "max neighbors", "upload factor",
+		},
+	}
+	maxNb := func(nb map[core.NodeID][]core.NodeID) int {
+		worst := 0
+		for _, l := range nb {
+			if len(l) > worst {
+				worst = len(l)
+			}
+		}
+		return worst
+	}
+	for _, n := range ns {
+		ch, err := baseline.NewChain(n)
+		if err != nil {
+			return nil, err
+		}
+		cres, err := simulate(ch, 5, core.Slot(n+4), slotsim.Options{Mode: core.Live})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, "chain", int(cres.WorstStartDelay()), cres.WorstBuffer(), maxNb(ch.Neighbors()), 1)
+
+		st, err := baseline.NewSingleTree(n, 2)
+		if err != nil {
+			return nil, err
+		}
+		stres, err := simulate(st, 5, core.Slot(2*analysis.TreeHeight(n, 2)+8),
+			slotsim.Options{Mode: core.Live, SendCap: st.SendCap})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, "single tree b=2", int(stres.WorstStartDelay()), stres.WorstBuffer(),
+			maxNb(st.Neighbors()), st.UploadFactor())
+
+		for _, d := range []int{2, 3} {
+			s, res, err := multitreeResult(n, d, multitree.Greedy, core.PreRecorded)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(n, fmt.Sprintf("multi-tree d=%d", d), int(res.WorstStartDelay()),
+				res.WorstBuffer(), maxNb(s.Neighbors()), 1)
+		}
+		hs, hres, err := hypercubeResult(n, 1)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, "hypercube chain", int(hres.WorstStartDelay()), hres.WorstBuffer(),
+			maxNb(hs.Neighbors()), 1)
+	}
+	return t, nil
+}
+
+// LiveModes compares the three multi-tree stream modes (an ablation of the
+// Section 2.2.3 live-streaming variants): the pre-buffered variant costs
+// exactly d extra slots, the pipelined variant between 0 and d−1.
+func LiveModes(ns []int, d int) (*Table, error) {
+	t := &Table{
+		ID:    "livemodes",
+		Title: fmt.Sprintf("multi-tree stream modes, d=%d", d),
+		Columns: []string{
+			"N", "mode", "worst delay", "avg delay", "max buffer",
+		},
+	}
+	for _, n := range ns {
+		for _, mode := range []core.StreamMode{core.PreRecorded, core.Live, core.LivePreBuffered} {
+			_, res, err := multitreeResult(n, d, multitree.Greedy, mode)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(n, mode.String(), int(res.WorstStartDelay()), res.AvgStartDelay(), res.WorstBuffer())
+		}
+	}
+	return t, nil
+}

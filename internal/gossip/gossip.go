@@ -1,0 +1,235 @@
+// Package gossip implements an unstructured, best-effort pull mesh — the
+// class of data-driven overlay (CoolStreaming-style) that the paper's
+// introduction contrasts with its structured schemes. Each node knows a
+// small random neighbor set; every slot it asks one random neighbor for a
+// missing packet, the neighbor serving at most one request (the source up
+// to d). There are no delivery guarantees: the experiments show exactly
+// the heavy delay tail and occasional starvation that motivate the paper's
+// provable-QoS constructions.
+//
+// The mesh honours the same communication model as the structured schemes:
+// one send and one receive per node per slot, packets usable one slot
+// after arrival. The schedule is generated slot by slot from a seeded
+// deterministic random stream, so runs are reproducible and replayable by
+// both simulation engines.
+package gossip
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"streamcast/internal/core"
+)
+
+// Strategy selects which missing packet a node asks for.
+type Strategy int
+
+const (
+	// PullOldest requests the lowest-numbered missing packet — the
+	// natural choice for in-order playback.
+	PullOldest Strategy = iota
+	// PullNewest requests the highest-numbered packet the neighbor has
+	// that the puller lacks (fast at spreading fresh data, bad for the
+	// playback frontier).
+	PullNewest
+	// PullRandom requests a uniformly random useful packet.
+	PullRandom
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case PullOldest:
+		return "pull-oldest"
+	case PullNewest:
+		return "pull-newest"
+	case PullRandom:
+		return "pull-random"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Scheme is the unstructured pull mesh. It implements core.Scheme; the
+// schedule is generated lazily in slot order.
+type Scheme struct {
+	n        int
+	d        int // source capacity
+	degree   int // neighbor-set size
+	strategy Strategy
+	rng      *rand.Rand
+	nbrs     [][]core.NodeID // per node (1..n), may include the source
+
+	// holdings[i] tracks the packets node i holds, as a dense bool slice
+	// grown on demand; holdings[0] is unused (source availability is
+	// time-based).
+	holdings [][]bool
+	// nextSlot is the first slot not yet generated; memo caches generated
+	// slots for replay.
+	nextSlot core.Slot
+	memo     [][]core.Transmission
+}
+
+// New builds a gossip mesh over n receivers with the given neighbor-set
+// size and source capacity d. The seed makes the run reproducible.
+func New(n, d, degree int, strategy Strategy, seed int64) (*Scheme, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gossip: n must be >= 1, got %d", n)
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("gossip: source capacity must be >= 1, got %d", d)
+	}
+	if degree < 1 {
+		return nil, fmt.Errorf("gossip: neighbor degree must be >= 1, got %d", degree)
+	}
+	s := &Scheme{
+		n: n, d: d, degree: degree, strategy: strategy,
+		rng:      rand.New(rand.NewSource(seed)),
+		nbrs:     make([][]core.NodeID, n+1),
+		holdings: make([][]bool, n+1),
+	}
+	// Random mesh: every node gets `degree` distinct neighbors; d random
+	// nodes additionally adopt the source, so new data has entry points.
+	for i := 1; i <= n; i++ {
+		seen := map[core.NodeID]bool{core.NodeID(i): true}
+		for len(s.nbrs[i]) < degree && len(seen) <= n {
+			nb := core.NodeID(1 + s.rng.Intn(n))
+			if !seen[nb] {
+				seen[nb] = true
+				s.nbrs[i] = append(s.nbrs[i], nb)
+			}
+		}
+	}
+	for g := 0; g < d && g < n; g++ {
+		who := core.NodeID(1 + s.rng.Intn(n))
+		s.nbrs[who] = append(s.nbrs[who], core.SourceID)
+	}
+	return s, nil
+}
+
+// Name implements core.Scheme.
+func (s *Scheme) Name() string {
+	return fmt.Sprintf("gossip(%s,deg=%d)", s.strategy, s.degree)
+}
+
+// NumReceivers implements core.Scheme.
+func (s *Scheme) NumReceivers() int { return s.n }
+
+// SourceCapacity implements core.Scheme.
+func (s *Scheme) SourceCapacity() int { return s.d }
+
+// Neighbors implements core.Scheme.
+func (s *Scheme) Neighbors() map[core.NodeID][]core.NodeID {
+	out := make(map[core.NodeID][]core.NodeID, s.n)
+	sym := make(map[core.NodeID]map[core.NodeID]bool, s.n)
+	add := func(a, b core.NodeID) {
+		if sym[a] == nil {
+			sym[a] = map[core.NodeID]bool{}
+		}
+		sym[a][b] = true
+	}
+	for i := 1; i <= s.n; i++ {
+		for _, nb := range s.nbrs[i] {
+			add(core.NodeID(i), nb)
+			if nb != core.SourceID {
+				add(nb, core.NodeID(i))
+			}
+		}
+	}
+	for id, set := range sym {
+		list := make([]core.NodeID, 0, len(set))
+		for nb := range set {
+			list = append(list, nb)
+		}
+		out[id] = list
+	}
+	return out
+}
+
+// holds reports whether a node holds packet p before the current slot.
+func (s *Scheme) holds(id core.NodeID, p core.Packet) bool {
+	h := s.holdings[id]
+	return int(p) < len(h) && h[p]
+}
+
+// give records a packet arrival (usable from the next slot).
+func (s *Scheme) give(id core.NodeID, p core.Packet) {
+	h := s.holdings[id]
+	for int(p) >= len(h) {
+		h = append(h, false)
+	}
+	h[p] = true
+	s.holdings[id] = h
+}
+
+// Transmissions implements core.Scheme. Slots must be generated in order;
+// replay of earlier slots is served from the memo.
+func (s *Scheme) Transmissions(t core.Slot) []core.Transmission {
+	for s.nextSlot <= t {
+		s.generate(s.nextSlot)
+		s.nextSlot++
+	}
+	return s.memo[t]
+}
+
+// generate rolls the pull protocol forward by one slot.
+func (s *Scheme) generate(t core.Slot) {
+	// Each node picks a target; requests are granted in random order.
+	order := s.rng.Perm(s.n)
+	served := make(map[core.NodeID]int, s.n)
+	var txs []core.Transmission
+	for _, oi := range order {
+		puller := core.NodeID(oi + 1)
+		target := s.nbrs[puller][s.rng.Intn(len(s.nbrs[puller]))]
+		capacity := 1
+		if target == core.SourceID {
+			capacity = s.d
+		}
+		if served[target] >= capacity {
+			continue // target busy this slot
+		}
+		p, ok := s.choose(puller, target, t)
+		if !ok {
+			continue // neighbor has nothing useful
+		}
+		served[target]++
+		txs = append(txs, core.Transmission{From: target, To: puller, Packet: p})
+	}
+	for _, tx := range txs {
+		s.give(tx.To, tx.Packet)
+	}
+	s.memo = append(s.memo, txs)
+}
+
+// choose picks the packet the puller requests from the target under the
+// strategy, or ok=false if the target has nothing useful.
+func (s *Scheme) choose(puller, target core.NodeID, t core.Slot) (core.Packet, bool) {
+	var useful []core.Packet
+	if target == core.SourceID {
+		// The source holds packets 0..t (live); scan the puller's gaps.
+		for p := core.Packet(0); p <= core.Packet(t); p++ {
+			if !s.holds(puller, p) {
+				useful = append(useful, p)
+			}
+		}
+	} else {
+		for p, has := range s.holdings[target] {
+			if has && !s.holds(puller, core.Packet(p)) {
+				useful = append(useful, core.Packet(p))
+			}
+		}
+	}
+	if len(useful) == 0 {
+		return 0, false
+	}
+	sort.Slice(useful, func(i, j int) bool { return useful[i] < useful[j] })
+	switch s.strategy {
+	case PullNewest:
+		return useful[len(useful)-1], true
+	case PullRandom:
+		return useful[s.rng.Intn(len(useful))], true
+	default:
+		return useful[0], true
+	}
+}

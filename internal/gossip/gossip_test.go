@@ -1,0 +1,130 @@
+package gossip
+
+import (
+	"testing"
+
+	"streamcast/internal/core"
+	"streamcast/internal/slotsim"
+)
+
+// runGossip executes the mesh with a generous horizon, tolerating holes
+// (best-effort has no delivery guarantee).
+func runGossip(t *testing.T, s *Scheme, packets core.Packet, slots core.Slot) *slotsim.Result {
+	t.Helper()
+	res, err := slotsim.Run(s, slotsim.Options{
+		Slots:           slots,
+		Packets:         packets,
+		Mode:            core.Live,
+		AllowIncomplete: true,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+	return res
+}
+
+// TestGossipRespectsModel: the generated schedule obeys one-send/one-receive
+// and availability — the engine would reject it otherwise.
+func TestGossipRespectsModel(t *testing.T) {
+	for _, strat := range []Strategy{PullOldest, PullNewest, PullRandom} {
+		s, err := New(40, 3, 5, strat, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runGossip(t, s, 10, 200)
+	}
+}
+
+// TestGossipEventuallyDelivers: with the oldest-first strategy and a long
+// horizon, every node catches the early packets.
+func TestGossipEventuallyDelivers(t *testing.T) {
+	s, err := New(30, 3, 6, PullOldest, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runGossip(t, s, 8, 400)
+	for id := 1; id <= 30; id++ {
+		if res.Missing[id] != 0 {
+			t.Errorf("node %d missing %d packets after 400 slots", id, res.Missing[id])
+		}
+	}
+}
+
+// TestGossipIsBestEffort: the measured worst-case delay of the unstructured
+// mesh exceeds the multi-tree's provable h·d bound at the same N and source
+// capacity — the paper's core motivation for structured schemes.
+func TestGossipIsBestEffort(t *testing.T) {
+	n, d := 60, 3
+	s, err := New(n, d, 5, PullOldest, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runGossip(t, s, 10, 500)
+	// Multi-tree bound at N=60, d=3: h=3 -> 9 slots.
+	structuredBound := core.Slot(9)
+	if res.WorstStartDelay() <= structuredBound {
+		t.Errorf("gossip worst delay %d unexpectedly within the structured bound %d",
+			res.WorstStartDelay(), structuredBound)
+	}
+}
+
+// TestGossipReplayDeterminism: replaying a slot returns the identical
+// transmissions (core.Scheme contract).
+func TestGossipReplayDeterminism(t *testing.T) {
+	s, err := New(20, 2, 4, PullRandom, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make([][]core.Transmission, 50)
+	for u := core.Slot(0); u < 50; u++ {
+		first[u] = s.Transmissions(u)
+	}
+	for u := core.Slot(0); u < 50; u++ {
+		again := s.Transmissions(u)
+		if len(again) != len(first[u]) {
+			t.Fatalf("slot %d: %d vs %d transmissions", u, len(again), len(first[u]))
+		}
+		for i := range again {
+			if again[i] != first[u][i] {
+				t.Fatalf("slot %d tx %d: %v vs %v", u, i, again[i], first[u][i])
+			}
+		}
+	}
+	// Two schemes with the same seed produce identical schedules.
+	s2, err := New(20, 2, 4, PullRandom, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := core.Slot(0); u < 50; u++ {
+		a, b := s.Transmissions(u), s2.Transmissions(u)
+		if len(a) != len(b) {
+			t.Fatalf("seeded replay diverged at slot %d", u)
+		}
+	}
+}
+
+// TestGossipNeighborDegree: neighbor sets have the configured size (plus
+// possible source adoption and reverse edges).
+func TestGossipNeighborDegree(t *testing.T) {
+	s, err := New(50, 2, 4, PullOldest, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, nb := range s.Neighbors() {
+		if len(nb) < 1 {
+			t.Errorf("node %d has no neighbors", id)
+		}
+	}
+}
+
+func TestGossipValidation(t *testing.T) {
+	if _, err := New(0, 1, 1, PullOldest, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := New(5, 0, 1, PullOldest, 1); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := New(5, 1, 0, PullOldest, 1); err == nil {
+		t.Error("degree=0 accepted")
+	}
+}

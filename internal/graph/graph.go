@@ -1,0 +1,258 @@
+// Package graph implements the appendix material on arbitrary (not fully
+// connected) networks: the Two Interior-Disjoint Tree problem — given an
+// undirected graph G and a root r, do two spanning trees rooted at r exist
+// such that no vertex other than r is interior (has children) in both? —
+// together with an exact exponential solver for small instances, the
+// E4-Set-Splitting problem it is reduced from, and the paper's reduction.
+//
+// The problem is NP-complete, so the solver is a bitmask search: a spanning
+// tree whose interior set is I exists iff r ∈ I, G[I] is connected, and
+// every vertex outside I has a neighbor in I (I is a connected dominating
+// set through r). Two interior-disjoint trees exist iff the vertex set
+// splits into A and its complement with both A∪{r} and (V∖A)∪{r}
+// containing such an I.
+package graph
+
+import "fmt"
+
+// Graph is a simple undirected graph on vertices 0..N-1 stored as adjacency
+// bitmasks, limiting N to 30 — far beyond what the exponential solver can
+// process anyway.
+type Graph struct {
+	N   int
+	adj []uint32
+}
+
+// NewGraph creates an empty graph on n vertices.
+func NewGraph(n int) (*Graph, error) {
+	if n < 1 || n > 30 {
+		return nil, fmt.Errorf("graph: n must be in [1,30], got %d", n)
+	}
+	return &Graph{N: n, adj: make([]uint32, n)}, nil
+}
+
+// AddEdge inserts the undirected edge {a, b}.
+func (g *Graph) AddEdge(a, b int) error {
+	if a < 0 || a >= g.N || b < 0 || b >= g.N || a == b {
+		return fmt.Errorf("graph: invalid edge (%d,%d)", a, b)
+	}
+	g.adj[a] |= 1 << b
+	g.adj[b] |= 1 << a
+	return nil
+}
+
+// HasEdge reports whether the edge {a,b} is present.
+func (g *Graph) HasEdge(a, b int) bool {
+	return g.adj[a]&(1<<b) != 0
+}
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int {
+	return popcount(g.adj[v])
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// connected reports whether the vertices in mask induce a connected
+// subgraph (an empty mask is vacuously connected).
+func (g *Graph) connected(mask uint32) bool {
+	if mask == 0 {
+		return true
+	}
+	start := mask & -mask
+	seen := start
+	frontier := start
+	for frontier != 0 {
+		var next uint32
+		m := frontier
+		for m != 0 {
+			v := trailingZeros(m)
+			m &= m - 1
+			next |= g.adj[v] & mask &^ seen
+		}
+		seen |= next
+		frontier = next
+	}
+	return seen == mask
+}
+
+// dominates reports whether every vertex outside mask has a neighbor in
+// mask.
+func (g *Graph) dominates(mask uint32) bool {
+	all := uint32(1)<<g.N - 1
+	out := all &^ mask
+	for m := out; m != 0; m &= m - 1 {
+		v := trailingZeros(m)
+		if g.adj[v]&mask == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func trailingZeros(x uint32) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Tree is a rooted spanning tree given as a parent array (parent[root] =
+// -1).
+type Tree struct {
+	Root   int
+	Parent []int
+}
+
+// InteriorMask returns the bitmask of vertices with at least one child.
+func (t *Tree) InteriorMask() uint32 {
+	var m uint32
+	for v, p := range t.Parent {
+		if p >= 0 {
+			m |= 1 << p
+		}
+		_ = v
+	}
+	return m
+}
+
+// Validate checks that t is a spanning tree of g rooted at t.Root.
+func (t *Tree) Validate(g *Graph) error {
+	if len(t.Parent) != g.N {
+		return fmt.Errorf("graph: tree covers %d vertices, want %d", len(t.Parent), g.N)
+	}
+	if t.Parent[t.Root] != -1 {
+		return fmt.Errorf("graph: root %d has parent %d", t.Root, t.Parent[t.Root])
+	}
+	for v, p := range t.Parent {
+		if v == t.Root {
+			continue
+		}
+		if p < 0 || p >= g.N {
+			return fmt.Errorf("graph: vertex %d has invalid parent %d", v, p)
+		}
+		if !g.HasEdge(v, p) {
+			return fmt.Errorf("graph: tree edge (%d,%d) not in graph", v, p)
+		}
+	}
+	// Acyclicity / reachability: walk each vertex to the root.
+	for v := range t.Parent {
+		seen := 0
+		for u := v; u != t.Root; u = t.Parent[u] {
+			seen++
+			if seen > g.N {
+				return fmt.Errorf("graph: cycle reaching root from %d", v)
+			}
+		}
+	}
+	return nil
+}
+
+// goodInteriorSets enumerates every minimal vertex set I with root ∈ I,
+// G[I] connected, and I dominating — exactly the feasible interior sets of
+// a spanning tree rooted at root.
+func (g *Graph) goodInteriorSets(root int) []uint32 {
+	rootBit := uint32(1) << root
+	var good []uint32
+	for mask := uint32(0); mask < 1<<g.N; mask++ {
+		if mask&rootBit == 0 {
+			continue
+		}
+		if g.connected(mask) && g.dominates(mask) {
+			good = append(good, mask)
+		}
+	}
+	// Keep only inclusion-minimal sets: any superset admits the same tree
+	// pair and only makes disjointness harder.
+	var minimal []uint32
+	for _, m := range good {
+		isMin := true
+		for _, o := range good {
+			if o != m && o&m == o {
+				isMin = false
+				break
+			}
+		}
+		if isMin {
+			minimal = append(minimal, m)
+		}
+	}
+	return minimal
+}
+
+// buildTree materializes a spanning tree with interior set ⊆ interior: a
+// BFS tree of G[interior] from root, with every outside vertex attached as
+// a leaf to some interior neighbor.
+func (g *Graph) buildTree(root int, interior uint32) *Tree {
+	t := &Tree{Root: root, Parent: make([]int, g.N)}
+	for v := range t.Parent {
+		t.Parent[v] = -2
+	}
+	t.Parent[root] = -1
+	frontier := []int{root}
+	for len(frontier) > 0 {
+		v := frontier[0]
+		frontier = frontier[1:]
+		for m := g.adj[v] & interior; m != 0; m &= m - 1 {
+			u := trailingZeros(m)
+			if t.Parent[u] == -2 {
+				t.Parent[u] = v
+				frontier = append(frontier, u)
+			}
+		}
+	}
+	for v := 0; v < g.N; v++ {
+		if t.Parent[v] != -2 {
+			continue
+		}
+		for m := g.adj[v] & interior; m != 0; m &= m - 1 {
+			t.Parent[v] = trailingZeros(m)
+			break
+		}
+		if t.Parent[v] == -2 {
+			return nil // not dominated — caller guarantees this can't happen
+		}
+	}
+	return t
+}
+
+// TwoInteriorDisjointTrees searches for two spanning trees rooted at root
+// such that no other vertex is interior in both. It returns the trees, or
+// ok=false if none exist. Exponential in N; intended for the small
+// reduction instances of the NP-completeness experiment.
+//
+// Two such trees exist iff two feasible interior sets I1, I2 exist with
+// I1 ∩ I2 ⊆ {root}; it suffices to test pairs of inclusion-minimal sets.
+func (g *Graph) TwoInteriorDisjointTrees(root int) (t1, t2 *Tree, ok bool) {
+	if g.N == 1 {
+		t := &Tree{Root: root, Parent: []int{-1}}
+		return t, t, true
+	}
+	rootBit := uint32(1) << root
+	good := g.goodInteriorSets(root)
+	for i, a := range good {
+		for _, b := range good[i:] {
+			if a&b&^rootBit == 0 {
+				return g.buildTree(root, a), g.buildTree(root, b), true
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+// InteriorDisjoint reports whether two trees share any interior vertex
+// other than the root.
+func InteriorDisjoint(t1, t2 *Tree) bool {
+	shared := t1.InteriorMask() & t2.InteriorMask()
+	shared &^= 1 << t1.Root
+	return shared == 0
+}

@@ -1,0 +1,91 @@
+package graph
+
+import "fmt"
+
+// E4Instance is an instance of the E4-Set-Splitting problem: a ground set
+// of elements 0..NumElements-1 and a collection of 4-element sets. The
+// question is whether the elements can be 2-colored so that every set
+// contains both colors.
+type E4Instance struct {
+	NumElements int
+	Sets        [][4]int
+}
+
+// Validate checks the instance shape.
+func (in *E4Instance) Validate() error {
+	if in.NumElements < 1 || in.NumElements > 24 {
+		return fmt.Errorf("graph: NumElements must be in [1,24], got %d", in.NumElements)
+	}
+	for i, s := range in.Sets {
+		seen := map[int]bool{}
+		for _, e := range s {
+			if e < 0 || e >= in.NumElements {
+				return fmt.Errorf("graph: set %d has out-of-range element %d", i, e)
+			}
+			if seen[e] {
+				return fmt.Errorf("graph: set %d repeats element %d", i, e)
+			}
+			seen[e] = true
+		}
+	}
+	return nil
+}
+
+// Split searches exhaustively for a valid splitting. It returns the
+// bitmask of one side, or ok=false when the instance is unsatisfiable.
+func (in *E4Instance) Split() (side uint32, ok bool) {
+	for mask := uint32(0); mask < 1<<in.NumElements; mask++ {
+		if in.ValidSplit(mask) {
+			return mask, true
+		}
+	}
+	return 0, false
+}
+
+// ValidSplit reports whether the 2-coloring given by mask splits every set.
+func (in *E4Instance) ValidSplit(mask uint32) bool {
+	for _, s := range in.Sets {
+		var hit, miss bool
+		for _, e := range s {
+			if mask&(1<<e) != 0 {
+				hit = true
+			} else {
+				miss = true
+			}
+		}
+		if !hit || !miss {
+			return false
+		}
+	}
+	return true
+}
+
+// Reduce builds the paper's reduction graph: a root r adjacent to one
+// vertex per element, and one vertex x_i per set adjacent to exactly the
+// four vertices of R_i. The instance is satisfiable iff the graph admits
+// two interior-disjoint spanning trees rooted at r.
+//
+// Vertex layout: root = 0, element e = 1+e, set i = 1+NumElements+i.
+func (in *E4Instance) Reduce() (*Graph, int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := 1 + in.NumElements + len(in.Sets)
+	g, err := NewGraph(n)
+	if err != nil {
+		return nil, 0, err
+	}
+	for e := 0; e < in.NumElements; e++ {
+		if err := g.AddEdge(0, 1+e); err != nil {
+			return nil, 0, err
+		}
+	}
+	for i, s := range in.Sets {
+		for _, e := range s {
+			if err := g.AddEdge(1+in.NumElements+i, 1+e); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	return g, 0, nil
+}

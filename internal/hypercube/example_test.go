@@ -1,0 +1,37 @@
+package hypercube_test
+
+import (
+	"fmt"
+
+	"streamcast/internal/core"
+	"streamcast/internal/hypercube"
+	"streamcast/internal/slotsim"
+)
+
+// Example runs the single-cube scheme of Proposition 1 (N = 2^k − 1).
+func Example() {
+	s, err := hypercube.New(7, 1)
+	if err != nil {
+		panic(err)
+	}
+	res, err := slotsim.Run(s, slotsim.Options{Slots: 24, Packets: 9, Mode: core.Live})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("worst delay %d (= k), buffer %d packets\n",
+		res.WorstStartDelay(), res.WorstBuffer())
+	// Output:
+	// worst delay 3 (= k), buffer 2 packets
+}
+
+// ExampleNew_chained shows the arbitrary-N chain decomposition of
+// Section 3.2.
+func ExampleNew_chained() {
+	s, err := hypercube.New(100, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s.CubeDims())
+	// Output:
+	// [[6 5 2 2]]
+}

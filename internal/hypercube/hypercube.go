@@ -1,0 +1,313 @@
+// Package hypercube implements the hypercube-based streaming scheme of
+// Section 3 of the paper, a generalization of Farley's broadcast scheme to
+// an infinite stream.
+//
+// Single cube (N = 2^k − 1 receivers plus the source as vertex 0): in slot
+// t the 2^k vertices are paired along dimension dim(t) = (t−1) mod k. The
+// source introduces packet j to vertex 2^dim(j) at slot j; thereafter the
+// holder set of packet j doubles every slot (an affine subcube), so packet
+// j reaches every vertex at the end of slot j+k and every node consumes one
+// packet per slot with a buffer of just 2 packets (Proposition 1).
+//
+// In the final spreading slot of packet j, the vertex paired with the source
+// — always 2^dim(j), the packet's original introducee — has nothing to send
+// inside the cube. For arbitrary N (Section 3.2), that freed sender forwards
+// the packet it is about to consume to the next hypercube in a chain, acting
+// as a rate-1 "logical source" that starts k slots late; the construction
+// recurses until all nodes are covered (Proposition 2, Theorem 4).
+//
+// When the source can send d packets per slot, the receivers are divided
+// into d near-equal groups, each streaming over its own chain — worst-case
+// delay O(log²(N/d)) with O(log(N/d)) neighbors.
+package hypercube
+
+import (
+	"fmt"
+
+	"streamcast/internal/core"
+)
+
+// cubeSpec describes one hypercube in a chain.
+type cubeSpec struct {
+	// k is the cube dimension; the cube holds 2^k − 1 receivers.
+	k int
+	// base is the global slot at which packet 0 is injected into the cube.
+	base core.Slot
+	// firstID is the global NodeID of local vertex 1; local vertex v
+	// (1..2^k−1) has global id firstID + v − 1.
+	firstID core.NodeID
+	// order optionally overrides the repeating dimension sequence (length
+	// k). nil selects the paper's cycle. The correctness of the doubling
+	// schedule only requires that any window of k consecutive slots uses k
+	// distinct dimensions, i.e. that order is a permutation — the
+	// dimension-order ablation demonstrates that a non-covering sequence
+	// starves part of the cube.
+	order []int
+}
+
+// size returns the number of receivers in the cube.
+func (c cubeSpec) size() int { return 1<<c.k - 1 }
+
+// id maps a local vertex (1..2^k−1) to its global NodeID.
+func (c cubeSpec) id(v int) core.NodeID { return c.firstID + core.NodeID(v) - 1 }
+
+// dim returns the pairing dimension used at local slot τ: by default
+// (τ−1) mod k, matching the paper's example where slot 3n pairs the highest
+// bit and slot 3n+1 pairs the lowest.
+func (c cubeSpec) dim(tau core.Slot) int {
+	k := core.Slot(c.k)
+	i := int(((tau-1)%k + k) % k)
+	if c.order != nil {
+		return c.order[i]
+	}
+	return i
+}
+
+// Scheme is the hypercube-based streaming scheme for arbitrary N with a
+// source of capacity d ≥ 1 (d groups, each a chain of hypercubes). It
+// implements core.Scheme.
+type Scheme struct {
+	n      int
+	d      int
+	groups [][]cubeSpec
+}
+
+var _ core.Scheme = (*Scheme)(nil)
+
+// New builds the hypercube-based scheme for n receivers and source
+// capacity d. The n receivers are divided into d near-equal groups (sizes
+// differing by at most one); each group is covered by a chain of hypercubes
+// of strictly decreasing remaining size.
+func New(n, d int) (*Scheme, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("hypercube: n must be >= 1, got %d", n)
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("hypercube: source capacity must be >= 1, got %d", d)
+	}
+	if d > n {
+		d = n
+	}
+	s := &Scheme{n: n, d: d}
+	next := core.NodeID(1)
+	for g := 0; g < d; g++ {
+		size := n / d
+		if g < n%d {
+			size++
+		}
+		chain, last := buildChain(size, next)
+		s.groups = append(s.groups, chain)
+		next = last
+	}
+	return s, nil
+}
+
+// buildChain splits `size` receivers into a chain of hypercubes: the first
+// cube takes 2^⌊log2(size+1)⌋ − 1 nodes (at least half), and the freed
+// sender of each cube feeds the next, which therefore starts k slots later.
+func buildChain(size int, first core.NodeID) ([]cubeSpec, core.NodeID) {
+	var chain []cubeSpec
+	var base core.Slot
+	for size > 0 {
+		k := 0
+		for 1<<(k+1)-1 <= size {
+			k++
+		}
+		c := cubeSpec{k: k, base: base, firstID: first}
+		chain = append(chain, c)
+		first += core.NodeID(c.size())
+		size -= c.size()
+		base += core.Slot(k)
+	}
+	return chain, first
+}
+
+// NewWithDimOrder builds a single-cube scheme for n = 2^k − 1 receivers
+// whose pairing repeats the given dimension sequence (length k) instead of
+// the paper's cycle. Intended for the dimension-order ablation: any
+// permutation preserves the doubling invariant; a sequence that omits a
+// dimension starves half the cube.
+func NewWithDimOrder(n int, order []int) (*Scheme, error) {
+	k := 0
+	for 1<<(k+1)-1 <= n {
+		k++
+	}
+	if 1<<k-1 != n {
+		return nil, fmt.Errorf("hypercube: NewWithDimOrder needs n = 2^k-1, got %d", n)
+	}
+	if len(order) != k {
+		return nil, fmt.Errorf("hypercube: order must have length %d, got %d", k, len(order))
+	}
+	for _, d := range order {
+		if d < 0 || d >= k {
+			return nil, fmt.Errorf("hypercube: dimension %d out of range [0,%d)", d, k)
+		}
+	}
+	return &Scheme{
+		n: n, d: 1,
+		groups: [][]cubeSpec{{{k: k, base: 0, firstID: 1, order: order}}},
+	}, nil
+}
+
+// Name implements core.Scheme.
+func (s *Scheme) Name() string {
+	return fmt.Sprintf("hypercube(d=%d)", s.d)
+}
+
+// NumReceivers implements core.Scheme.
+func (s *Scheme) NumReceivers() int { return s.n }
+
+// SourceCapacity implements core.Scheme.
+func (s *Scheme) SourceCapacity() int { return s.d }
+
+// CubeDims returns, per group, the dimensions of the chained cubes — e.g.
+// N=11, d=1 yields [[3 1 1]].
+func (s *Scheme) CubeDims() [][]int {
+	out := make([][]int, len(s.groups))
+	for g, chain := range s.groups {
+		for _, c := range chain {
+			out[g] = append(out[g], c.k)
+		}
+	}
+	return out
+}
+
+// Transmissions implements core.Scheme.
+func (s *Scheme) Transmissions(t core.Slot) []core.Transmission {
+	var out []core.Transmission
+	for _, chain := range s.groups {
+		for i, c := range chain {
+			tau := t - c.base
+			if tau < 0 {
+				break // later cubes start even later
+			}
+			// Injection of packet tau into this cube: from the real
+			// source for the first cube, otherwise from the previous
+			// cube's freed sender (vertex 2^dim of the previous cube,
+			// which is paired with its own virtual source this slot).
+			injector := core.SourceID
+			if i > 0 {
+				prev := chain[i-1]
+				injector = prev.id(1 << prev.dim(t-prev.base))
+			}
+			out = append(out, core.Transmission{
+				From:   injector,
+				To:     c.id(1 << c.dim(tau)),
+				Packet: core.Packet(tau),
+			})
+			out = appendSpreads(out, c, tau)
+		}
+	}
+	return out
+}
+
+// appendSpreads emits the intra-cube doubling transmissions of cube c at
+// local slot τ: every in-flight packet j ∈ [τ−k, τ−1] is forwarded along
+// dimension dim(τ) by its current holder set
+// H(j) = 2^dim(j) ⊕ span{dim(j+1), …, dim(τ−1)}, except the holder paired
+// with the (virtual) source, which is freed to feed the next cube.
+func appendSpreads(out []core.Transmission, c cubeSpec, tau core.Slot) []core.Transmission {
+	cur := 1 << c.dim(tau)
+	lo := tau - core.Slot(c.k)
+	if lo < 0 {
+		lo = 0
+	}
+	for j := lo; j < tau; j++ {
+		// Dimensions the packet has already spread along.
+		var dims []int
+		for u := j + 1; u < tau; u++ {
+			dims = append(dims, c.dim(u))
+		}
+		basePt := 1 << c.dim(j)
+		for mask := 0; mask < 1<<len(dims); mask++ {
+			v := basePt
+			for b, dd := range dims {
+				if mask&(1<<b) != 0 {
+					v ^= 1 << dd
+				}
+			}
+			if v == cur {
+				continue // freed sender: paired with the source this slot
+			}
+			out = append(out, core.Transmission{
+				From:   c.id(v),
+				To:     c.id(v ^ cur),
+				Packet: core.Packet(j),
+			})
+		}
+	}
+	return out
+}
+
+// Neighbors implements core.Scheme: each node's intra-cube partners (one per
+// dimension, where the partner of 2^dim(τ) in the pairing slot is the cube's
+// source/injector side) plus the chaining edges between consecutive cubes.
+func (s *Scheme) Neighbors() map[core.NodeID][]core.NodeID {
+	set := make(map[core.NodeID]map[core.NodeID]bool, s.n)
+	add := func(a, b core.NodeID) {
+		if set[a] == nil {
+			set[a] = make(map[core.NodeID]bool)
+		}
+		set[a][b] = true
+		if b == core.SourceID {
+			return
+		}
+		if set[b] == nil {
+			set[b] = make(map[core.NodeID]bool)
+		}
+		set[b][a] = true
+	}
+	for _, chain := range s.groups {
+		for i, c := range chain {
+			// Intra-cube pairing partners.
+			for v := 1; v < 1<<c.k; v++ {
+				for b := 0; b < c.k; b++ {
+					w := v ^ 1<<b
+					if w == 0 {
+						continue // handled via injector edges below
+					}
+					if w > v {
+						add(c.id(v), c.id(w))
+					}
+				}
+			}
+			// Injector edges: who delivers new packets to this cube's
+			// vertices 2^b.
+			if i == 0 {
+				for b := 0; b < c.k; b++ {
+					add(c.id(1<<b), core.SourceID)
+				}
+				continue
+			}
+			prev := chain[i-1]
+			// The freed sender of prev at global slot t is
+			// prev-vertex 2^prev.dim(t−prev.base); the injectee is
+			// c-vertex 2^c.dim(t−c.base). Enumerate one full period.
+			period := core.Slot(lcm(prev.k, c.k))
+			for off := core.Slot(0); off < period; off++ {
+				t := c.base + core.Slot(c.k) + off // any slot ≥ both bases
+				add(prev.id(1<<prev.dim(t-prev.base)), c.id(1<<c.dim(t-c.base)))
+			}
+		}
+	}
+	out := make(map[core.NodeID][]core.NodeID, s.n)
+	for id := core.NodeID(1); int(id) <= s.n; id++ {
+		list := make([]core.NodeID, 0, len(set[id]))
+		for nb := range set[id] {
+			list = append(list, nb)
+		}
+		out[id] = list
+	}
+	return out
+}
+
+func lcm(a, b int) int {
+	return a / gcd(a, b) * b
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,146 @@
+// Package integration runs cross-module differential tests: every scheme
+// family is executed by the three independent engines (sequential matrix,
+// goroutine-parallel matrix, concurrent message-passing runtime) and their
+// per-node measurements must agree; declared neighbor sets must cover
+// actual traffic; and analytic bounds must hold on every configuration in
+// the matrix.
+package integration
+
+import (
+	"fmt"
+	"testing"
+
+	"streamcast/internal/analysis"
+	"streamcast/internal/baseline"
+	"streamcast/internal/core"
+	"streamcast/internal/gossip"
+	"streamcast/internal/hypercube"
+	"streamcast/internal/multitree"
+	"streamcast/internal/runtime"
+	"streamcast/internal/slotsim"
+)
+
+// fixture bundles a scheme with a sufficient simulation horizon.
+type fixture struct {
+	scheme  core.Scheme
+	slots   core.Slot
+	packets core.Packet
+	mode    core.StreamMode
+}
+
+// matrix builds the full scheme test matrix.
+func matrix(t *testing.T) []fixture {
+	t.Helper()
+	var fs []fixture
+	for _, c := range []multitree.Construction{multitree.Structured, multitree.Greedy} {
+		for _, tc := range []struct{ n, d int }{{9, 2}, {26, 3}, {64, 4}} {
+			for _, mode := range []core.StreamMode{core.PreRecorded, core.Live} {
+				m, err := multitree.New(tc.n, tc.d, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fs = append(fs, fixture{
+					scheme:  multitree.NewScheme(m, mode),
+					slots:   core.Slot(m.Height()*tc.d + 5*tc.d + 6),
+					packets: core.Packet(3 * tc.d),
+					mode:    mode,
+				})
+			}
+		}
+	}
+	for _, tc := range []struct{ n, d int }{{7, 1}, {31, 1}, {44, 1}, {60, 3}} {
+		h, err := hypercube.New(tc.n, tc.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs = append(fs, fixture{
+			scheme: h, slots: 70, packets: 8, mode: core.Live,
+		})
+	}
+	ch, err := baseline.NewChain(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs = append(fs, fixture{scheme: ch, slots: 30, packets: 6, mode: core.Live})
+	return fs
+}
+
+// TestThreeEngineAgreement: matrix engine, parallel matrix engine, and the
+// goroutine runtime agree on playback start and peak buffer per node.
+func TestThreeEngineAgreement(t *testing.T) {
+	for _, f := range matrix(t) {
+		f := f
+		t.Run(fmt.Sprintf("%s/%s", f.scheme.Name(), f.mode), func(t *testing.T) {
+			opt := slotsim.Options{Slots: f.slots, Packets: f.packets, Mode: f.mode}
+			seq, err := slotsim.Run(f.scheme, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := slotsim.RunParallel(f.scheme, opt, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt, err := runtime.Execute(f.scheme, runtime.Options{
+				Slots: f.slots, Packets: f.packets, Mode: f.mode,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := 1; id <= f.scheme.NumReceivers(); id++ {
+				if seq.StartDelay[id] != par.StartDelay[id] {
+					t.Fatalf("node %d: seq start %d, parallel %d", id, seq.StartDelay[id], par.StartDelay[id])
+				}
+				if seq.StartDelay[id] != rt.Reports[id].Start {
+					t.Fatalf("node %d: matrix start %d, runtime %d", id, seq.StartDelay[id], rt.Reports[id].Start)
+				}
+				if seq.MaxBuffer[id] != rt.Reports[id].MaxBuffer {
+					t.Fatalf("node %d: matrix buffer %d, runtime %d", id, seq.MaxBuffer[id], rt.Reports[id].MaxBuffer)
+				}
+			}
+		})
+	}
+}
+
+// TestNeighborsCoverTrafficEverywhere applies the declared-vs-actual
+// neighbor check across the whole matrix plus the gossip mesh.
+func TestNeighborsCoverTrafficEverywhere(t *testing.T) {
+	fs := matrix(t)
+	g, err := gossip.New(30, 2, 4, gossip.PullRandom, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs = append(fs, fixture{scheme: g, slots: 100})
+	for _, f := range fs {
+		if err := slotsim.VerifyNeighbors(f.scheme, f.slots); err != nil {
+			t.Errorf("%s: %v", f.scheme.Name(), err)
+		}
+	}
+}
+
+// TestBoundsHoldAcrossMatrix re-verifies the paper's QoS bounds on every
+// matrix configuration.
+func TestBoundsHoldAcrossMatrix(t *testing.T) {
+	for _, f := range matrix(t) {
+		res, err := slotsim.Run(f.scheme, slotsim.Options{
+			Slots: f.slots, Packets: f.packets, Mode: f.mode,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", f.scheme.Name(), err)
+		}
+		switch s := f.scheme.(type) {
+		case *multitree.Scheme:
+			bound := core.Slot(analysis.Theorem2Bound(s.Tree.N, s.Tree.D))
+			extra := core.Slot(0)
+			if f.mode == core.Live {
+				extra = core.Slot(s.Tree.D) // pipelined live lags <= d
+			}
+			if res.WorstStartDelay() > bound+extra {
+				t.Errorf("%s: worst %d above thm2 %d", s.Name(), res.WorstStartDelay(), bound+extra)
+			}
+		case *hypercube.Scheme:
+			if res.WorstBuffer() > 2 {
+				t.Errorf("%s: buffer %d > 2", s.Name(), res.WorstBuffer())
+			}
+		}
+	}
+}

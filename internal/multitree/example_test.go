@@ -1,0 +1,59 @@
+package multitree_test
+
+import (
+	"fmt"
+
+	"streamcast/internal/core"
+	"streamcast/internal/multitree"
+	"streamcast/internal/slotsim"
+)
+
+// Example builds the paper's Figure 3 configuration and runs its schedule.
+func Example() {
+	trees, err := multitree.New(15, 3, multitree.Structured)
+	if err != nil {
+		panic(err)
+	}
+	scheme := multitree.NewScheme(trees, core.PreRecorded)
+	res, err := slotsim.Run(scheme, slotsim.Options{Slots: 30, Packets: 9})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("height h=%d, worst delay %d (bound h*d=%d), buffer %d\n",
+		trees.Height(), res.WorstStartDelay(), trees.Height()*3, res.WorstBuffer())
+	// Output:
+	// height h=3, worst delay 6 (bound h*d=9), buffer 3
+}
+
+// ExampleNew_greedy shows the greedy construction's tree T_1 from
+// Figure 3(b).
+func ExampleNew_greedy() {
+	trees, err := multitree.New(15, 3, multitree.Greedy)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(trees.Trees[1])
+	// Output:
+	// [5 6 7 8 3 1 2 9 4 11 12 10 14 15 13]
+}
+
+// ExampleNewDynamic drives the appendix churn algorithms.
+func ExampleNewDynamic() {
+	dy, err := multitree.NewDynamic(9, 3, false)
+	if err != nil {
+		panic(err)
+	}
+	st, err := dy.Add("alice") // d | N: the trees must grow a level
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("grew=%v swaps=%d N=%d\n", st.Grew, st.Swaps, dy.N())
+	st, err = dy.Delete("alice") // shrink back
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("shrunk=%v N=%d, still valid: %v\n", st.Shrunk, dy.N(), dy.Validate() == nil)
+	// Output:
+	// grew=true swaps=3 N=10
+	// shrunk=true N=9, still valid: true
+}

@@ -1,0 +1,73 @@
+package multitree
+
+import (
+	"streamcast/internal/core"
+)
+
+// MemberImpact quantifies what one churn operation does to one surviving
+// member's playback, under pipeline continuity: tree positions keep their
+// slot patterns across the operation (swaps preserve residues by
+// construction), so a member that moved between positions experiences the
+// difference between the two positions' delivery schedules.
+type MemberImpact struct {
+	Name string
+	// MissedPackets counts stream packets the member skips because its
+	// new position's pipeline is ahead of its old one (moved shallower):
+	// these are the hiccups the paper attributes to churn.
+	MissedPackets int
+	// StallRounds counts rounds during which the new position's pipeline
+	// re-delivers packets the member already holds (moved deeper): no
+	// data loss, but no fresh data either, so playback may pause while
+	// the member re-buffers.
+	StallRounds int
+	// StartDelayChange is the change in the member's steady-state
+	// playback delay (new − old, in slots).
+	StartDelayChange core.Slot
+}
+
+// ChurnImpact compares a member's schedules before and after an operation.
+// The two snapshots must use the scheme mode consistently; impacts are
+// computed for every member present in both.
+func ChurnImpact(before, after *Scheme, beforeNames, afterNames map[core.NodeID]string) []MemberImpact {
+	// Index members by name.
+	oldID := make(map[string]core.NodeID, len(beforeNames))
+	for id, name := range beforeNames {
+		oldID[name] = id
+	}
+	d := before.Tree.D
+	var out []MemberImpact
+	for id, name := range afterNames {
+		prev, ok := oldID[name]
+		if !ok {
+			continue // newly added member: no prior schedule
+		}
+		var missed, stall int
+		changed := false
+		for k := 0; k < d; k++ {
+			oldRecv := before.FirstRecvSlot(k, prev)
+			newRecv := after.FirstRecvSlot(k, id)
+			if oldRecv == newRecv {
+				continue
+			}
+			changed = true
+			// Same residue class by construction, so the difference is a
+			// whole number of rounds.
+			diff := int(oldRecv-newRecv) / d
+			if diff > 0 {
+				missed += diff
+			} else {
+				stall -= diff
+			}
+		}
+		if !changed {
+			continue
+		}
+		out = append(out, MemberImpact{
+			Name:             name,
+			MissedPackets:    missed,
+			StallRounds:      stall,
+			StartDelayChange: after.AnalyticStartDelay(id) - before.AnalyticStartDelay(prev),
+		})
+	}
+	return out
+}

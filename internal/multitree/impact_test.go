@@ -1,0 +1,119 @@
+package multitree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"streamcast/internal/core"
+)
+
+// snapshotScheme materializes the dynamic state as a schedulable scheme.
+func snapshotScheme(t *testing.T, dy *Dynamic) (*Scheme, map[core.NodeID]string) {
+	t.Helper()
+	m, names := dy.Snapshot()
+	return NewScheme(m, core.PreRecorded), names
+}
+
+// TestChurnImpactBounds verifies the appendix claim: a single operation
+// perturbs at most ~d² members, and unaffected members keep their exact
+// delivery schedule (zero missed packets, zero stalls).
+func TestChurnImpactBounds(t *testing.T) {
+	d := 3
+	dy, err := NewDynamic(30, d, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for step := 0; step < 120; step++ {
+		before, beforeNames := snapshotScheme(t, dy)
+		if rng.Intn(2) == 0 || dy.N() <= 2 {
+			if _, err := dy.Add(fmt.Sprintf("i-%d", step)); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			names := dy.Names()
+			if _, err := dy.Delete(names[rng.Intn(len(names))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		after, afterNames := snapshotScheme(t, dy)
+		impacts := ChurnImpact(before, after, beforeNames, afterNames)
+		if len(impacts) > d*d+2*d {
+			t.Fatalf("step %d: %d members impacted, above the d²+2d envelope", step, len(impacts))
+		}
+		for _, im := range impacts {
+			if im.MissedPackets < 0 || im.StallRounds < 0 {
+				t.Fatalf("step %d: negative impact %+v", step, im)
+			}
+			if im.MissedPackets > d*int(before.Tree.Height()) {
+				t.Fatalf("step %d: %s missed %d packets, above d*h", step, im.Name, im.MissedPackets)
+			}
+		}
+	}
+}
+
+// TestChurnImpactNoOpForStableMembers: deleting an all-leaf node from a
+// configuration with spare dummies perturbs nobody else's schedule.
+func TestChurnImpactNoOpForStableMembers(t *testing.T) {
+	d := 3
+	// N=32 pads to NP=33 with I=10: the tail holds two real all-leaf
+	// members plus one dummy, so deleting one real tail member requires
+	// no swaps and no restore.
+	dy, err := NewDynamic(32, d, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, beforeNames := snapshotScheme(t, dy)
+	// Find a real all-leaf member: the tail member with the highest
+	// tree-0 position is one.
+	m, names := dy.Snapshot()
+	var victim string
+	for p := m.NP; p > m.NP-m.D; p-- {
+		id := m.Trees[0][p-1]
+		if !m.IsDummy(id) {
+			victim = names[id]
+			break
+		}
+	}
+	st, err := dy.Delete(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Swaps != 0 {
+		t.Fatalf("all-leaf deletion used %d swaps", st.Swaps)
+	}
+	after, afterNames := snapshotScheme(t, dy)
+	if impacts := ChurnImpact(before, after, beforeNames, afterNames); len(impacts) != 0 {
+		t.Errorf("swap-free deletion impacted %d members: %+v", len(impacts), impacts)
+	}
+}
+
+// TestChurnImpactDetectsPromotion: deleting an interior node moves its
+// replacement deeper/shallower and must show up in the impact report.
+func TestChurnImpactDetectsPromotion(t *testing.T) {
+	d := 2
+	dy, err := NewDynamic(12, d, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, beforeNames := snapshotScheme(t, dy)
+	// node-1 is interior in tree 0 of the initial greedy family.
+	if _, err := dy.Delete("node-1"); err != nil {
+		t.Fatal(err)
+	}
+	after, afterNames := snapshotScheme(t, dy)
+	impacts := ChurnImpact(before, after, beforeNames, afterNames)
+	if len(impacts) == 0 {
+		t.Fatal("interior deletion reported no impact")
+	}
+	moved := false
+	for _, im := range impacts {
+		if im.MissedPackets > 0 || im.StallRounds > 0 || im.StartDelayChange != 0 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Errorf("impacts carry no signal: %+v", impacts)
+	}
+}

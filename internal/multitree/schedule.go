@@ -1,0 +1,160 @@
+package multitree
+
+import (
+	"fmt"
+
+	"streamcast/internal/core"
+)
+
+// Scheme executes the round-robin transmission schedule of Section 2.2.3 on
+// a multi-tree family. It implements core.Scheme.
+//
+// The schedule: in slot t with r = t mod d and m = t div d, the source sends
+// packet k + m·d to its r-th child in tree T_k, and every interior node of
+// T_k relays the newest tree-k packet it holds to its r-th child. Packet j
+// belongs to tree j mod d; each node receives exactly one packet per slot in
+// steady state and the positions-distinct-mod-d property of the construction
+// guarantees no receive collisions.
+//
+// Three stream modes are supported:
+//   - PreRecorded: the canonical schedule (all packets available at slot 0).
+//   - LivePreBuffered: the canonical schedule delayed by d slots, so packet
+//     k+m·d is never sent before it has been produced.
+//   - Live: the pipelined schedule — tree T_k's packet numbering lags k
+//     slots so that packet k+m·d is first transmitted at slot k+m·d, the
+//     earliest slot at which a live source has produced it.
+type Scheme struct {
+	Tree *MultiTree
+	Mode core.StreamMode
+	// firstRecv[k][p-1] is the slot at which position p of tree T_k
+	// receives its round-0 packet under the canonical (pre-recorded)
+	// schedule.
+	firstRecv [][]core.Slot
+}
+
+var _ core.Scheme = (*Scheme)(nil)
+
+// NewScheme wraps a multi-tree family with a transmission schedule.
+func NewScheme(m *MultiTree, mode core.StreamMode) *Scheme {
+	s := &Scheme{Tree: m, Mode: mode}
+	s.firstRecv = make([][]core.Slot, m.D)
+	for k := 0; k < m.D; k++ {
+		s.firstRecv[k] = make([]core.Slot, m.NP)
+		for p := 1; p <= m.NP; p++ {
+			s.firstRecv[k][p-1] = s.firstRecvSlot(k, p)
+		}
+	}
+	return s
+}
+
+// virtualSourceSlot returns the slot at the end of which the source is
+// treated as "receiving" the round-0 packet of tree k. Every position's
+// receive slot is then the first slot after its parent's whose residue mod d
+// equals the position's child slot, so the residue pattern — and hence the
+// collision-freedom proof — is identical in every mode.
+//
+//   - PreRecorded: −1 (everything available before slot 0).
+//   - Live (pipelined): k−1, so packet k+m·d is first transmitted exactly at
+//     slot k+m·d, when a live source has just produced it.
+//   - LivePreBuffered: d−1, the paper's "accumulate d packets first"
+//     variant; a uniform d-slot shift for all trees.
+func (s *Scheme) virtualSourceSlot(k int) core.Slot {
+	switch s.Mode {
+	case core.Live:
+		return core.Slot(k) - 1
+	case core.LivePreBuffered:
+		return core.Slot(s.Tree.D) - 1
+	default:
+		return -1
+	}
+}
+
+// firstRecvSlot computes the slot at which position p receives the round-0
+// packet of tree k under the scheme's mode.
+func (s *Scheme) firstRecvSlot(k, p int) core.Slot {
+	d := s.Tree.D
+	recv := s.virtualSourceSlot(k)
+	// Walk root-to-leaf over the ancestor chain of p.
+	chain := make([]int, 0, 8)
+	for q := p; q > 0; q = ParentPos(q, d) {
+		chain = append(chain, q)
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		c := ChildSlot(chain[i], d)
+		delta := (core.Slot(c) - recv - 1) % core.Slot(d)
+		if delta < 0 {
+			delta += core.Slot(d)
+		}
+		recv = recv + 1 + delta
+	}
+	return recv
+}
+
+// Name implements core.Scheme.
+func (s *Scheme) Name() string {
+	return fmt.Sprintf("multitree(d=%d,%s)", s.Tree.D, s.Mode)
+}
+
+// NumReceivers implements core.Scheme.
+func (s *Scheme) NumReceivers() int { return s.Tree.N }
+
+// SourceCapacity implements core.Scheme.
+func (s *Scheme) SourceCapacity() int { return s.Tree.D }
+
+// Neighbors implements core.Scheme.
+func (s *Scheme) Neighbors() map[core.NodeID][]core.NodeID {
+	return s.Tree.Neighbors()
+}
+
+// Transmissions implements core.Scheme: it emits, for slot t, every edge
+// delivery (parent → child) whose receive pattern fires at t. Transfers to
+// dummy children are suppressed.
+func (s *Scheme) Transmissions(t core.Slot) []core.Transmission {
+	m := s.Tree
+	d := core.Slot(m.D)
+	out := make([]core.Transmission, 0, m.N)
+	for k := 0; k < m.D; k++ {
+		for p := 1; p <= m.NP; p++ {
+			child := m.Trees[k][p-1]
+			if m.IsDummy(child) {
+				continue
+			}
+			first := s.firstRecv[k][p-1]
+			if t < first || (t-first)%d != 0 {
+				continue
+			}
+			round := (t - first) / d
+			pkt := core.Packet(k) + core.Packet(round)*core.Packet(m.D)
+			var from core.NodeID = core.SourceID
+			if pp := ParentPos(p, m.D); pp > 0 {
+				from = m.Trees[k][pp-1]
+			}
+			out = append(out, core.Transmission{From: from, To: child, Packet: pkt})
+		}
+	}
+	return out
+}
+
+// FirstRecvSlot returns the slot at which node id receives its first packet
+// in tree k (round 0 of that tree). This is the quantity A(i,k) of the delay
+// analysis, expressed as an absolute slot.
+func (s *Scheme) FirstRecvSlot(k int, id core.NodeID) core.Slot {
+	p := s.Tree.Pos(k, id)
+	return s.firstRecv[k][p-1]
+}
+
+// AnalyticStartDelay returns the earliest no-hiccup playback start slot for
+// node id, derived from the closed-form schedule: the node receives the
+// round-m packet of tree k at FirstRecvSlot(k,id) + m·d, so packet
+// j = k + m·d lags behind slot j by FirstRecvSlot(k,id) − k, and playback
+// of packet j can happen at slot (worst lag) + j — at the earliest in the
+// arrival slot itself.
+func (s *Scheme) AnalyticStartDelay(id core.NodeID) core.Slot {
+	var worst core.Slot = -1 << 30
+	for k := 0; k < s.Tree.D; k++ {
+		if lag := s.FirstRecvSlot(k, id) - core.Slot(k); lag > worst {
+			worst = lag
+		}
+	}
+	return worst
+}

@@ -1,0 +1,33 @@
+package runtime_test
+
+import (
+	"fmt"
+
+	"streamcast/internal/core"
+	"streamcast/internal/multitree"
+	"streamcast/internal/runtime"
+)
+
+// Example streams real CRC-framed payloads through a multi-tree of
+// goroutine nodes and reports the playback QoS the actors measured about
+// themselves.
+func Example() {
+	trees, err := multitree.New(15, 3, multitree.Structured)
+	if err != nil {
+		panic(err)
+	}
+	scheme := multitree.NewScheme(trees, core.PreRecorded)
+	res, err := runtime.Execute(scheme, runtime.Options{
+		Slots:       40,
+		Packets:     9,
+		PayloadSize: 256,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("worst playback start: slot %d\n", res.WorstStart())
+	fmt.Printf("peak buffer: %d packets\n", res.WorstBuffer())
+	// Output:
+	// worst playback start: slot 6
+	// peak buffer: 3 packets
+}

@@ -1,0 +1,50 @@
+package runtime
+
+import (
+	"bytes"
+	"testing"
+
+	"streamcast/internal/core"
+)
+
+// FuzzDecodeFrame hardens the wire codec against malformed input: whatever
+// the bytes, decodeFrame must either reject them or return a self-consistent
+// (packet, payload) pair; it must never panic.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeFrame(0, nil))
+	f.Add(encodeFrame(7, PayloadFor(7, 32)))
+	long := encodeFrame(1<<40, PayloadFor(3, 256))
+	f.Add(long)
+	truncated := append([]byte(nil), long[:len(long)-3]...)
+	f.Add(truncated)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, payload, err := decodeFrame(data)
+		if err != nil {
+			return
+		}
+		// Accepted frames must re-encode to the identical bytes.
+		if !bytes.Equal(encodeFrame(p, payload), data) {
+			t.Fatalf("decode/encode mismatch for %d-byte frame", len(data))
+		}
+	})
+}
+
+// FuzzRoundTrip checks encode→decode identity over arbitrary payloads.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(int64(0), []byte{})
+	f.Add(int64(12345), []byte("stream data"))
+	f.Fuzz(func(t *testing.T, pkt int64, payload []byte) {
+		if pkt < 0 {
+			pkt = -pkt
+		}
+		frame := encodeFrame(core.Packet(pkt), payload)
+		p, data, err := decodeFrame(frame)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if p != core.Packet(pkt) || !bytes.Equal(data, payload) {
+			t.Fatal("round trip corrupted frame")
+		}
+	})
+}

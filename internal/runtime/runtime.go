@@ -1,0 +1,282 @@
+package runtime
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"streamcast/internal/core"
+)
+
+// Options configures a runtime execution.
+type Options struct {
+	// Slots is the number of lock-step slots to run.
+	Slots core.Slot
+	// Packets is the verification window: every node must play back
+	// packets 0..Packets-1 with intact payloads.
+	Packets core.Packet
+	// PayloadSize is the per-packet payload in bytes (default 64).
+	PayloadSize int
+	// Mode is the source availability assumption.
+	Mode core.StreamMode
+	// Transport overrides the transport (default: in-process channels).
+	Transport Transport
+	// RecvCap is the per-slot receive capacity of a node (default 1).
+	RecvCap int
+}
+
+// NodeReport is what one node actor measured about itself.
+type NodeReport struct {
+	ID core.NodeID
+	// Start is the slot at which sustained playback began after the
+	// node's adaptive warmup (re-buffering pushes it later).
+	Start core.Slot
+	// Hiccups counts re-buffering events: slots where the due packet had
+	// not arrived yet and the node had already started playback.
+	Hiccups int
+	// Played is the number of packets consumed in order.
+	Played int
+	// MaxBuffer is the peak number of payloads held, counting a packet
+	// through the end of its playback slot.
+	MaxBuffer int
+	// Received counts total frames accepted.
+	Received int
+}
+
+// Result is the outcome of a runtime execution.
+type Result struct {
+	Reports []NodeReport // indexed by NodeID (0 = source, unused)
+}
+
+// WorstStart returns the maximum adaptive playback start over receivers.
+func (r *Result) WorstStart() core.Slot {
+	var worst core.Slot
+	for _, rep := range r.Reports[1:] {
+		if rep.Start > worst {
+			worst = rep.Start
+		}
+	}
+	return worst
+}
+
+// WorstBuffer returns the peak buffer occupancy over receivers.
+func (r *Result) WorstBuffer() int {
+	worst := 0
+	for _, rep := range r.Reports[1:] {
+		if rep.MaxBuffer > worst {
+			worst = rep.MaxBuffer
+		}
+	}
+	return worst
+}
+
+// TotalHiccups sums re-buffering events over all receivers.
+func (r *Result) TotalHiccups() int {
+	n := 0
+	for _, rep := range r.Reports[1:] {
+		n += rep.Hiccups
+	}
+	return n
+}
+
+// node is the per-goroutine actor state.
+type node struct {
+	id      core.NodeID
+	store   map[core.Packet][]byte
+	started bool
+	start   core.Slot
+	next    core.Packet // next packet due for playback
+	hiccups int
+	played  int
+	maxBuf  int
+	recv    int
+}
+
+// Execute runs the scheme as a concurrent system of node goroutines and
+// verifies full in-order payload reconstruction at every node.
+func Execute(s core.Scheme, opt Options) (*Result, error) {
+	n := s.NumReceivers()
+	if n < 1 {
+		return nil, fmt.Errorf("runtime: scheme has no receivers")
+	}
+	if opt.Slots <= 0 || opt.Packets <= 0 {
+		return nil, fmt.Errorf("runtime: Slots and Packets must be positive")
+	}
+	if opt.PayloadSize <= 0 {
+		opt.PayloadSize = 64
+	}
+	if opt.RecvCap <= 0 {
+		opt.RecvCap = 1
+	}
+	tr := opt.Transport
+	if tr == nil {
+		tr = NewChanTransport(n, opt.RecvCap+4)
+	}
+	defer tr.Close()
+
+	nodes := make([]*node, n+1)
+	for id := 1; id <= n; id++ {
+		nodes[id] = &node{id: core.NodeID(id), store: make(map[core.Packet][]byte)}
+	}
+
+	// Node actors process the send phase and the receive/playback phase of
+	// each slot in parallel: fork-join over fixed shards, so no two
+	// goroutines ever touch the same node's state, with the phase barrier
+	// playing the role of the model's slot boundary.
+	type phase struct {
+		sends map[core.NodeID][]core.Transmission
+		slot  core.Slot
+		kind  int // 0 = send, 1 = receive/play
+	}
+	workers := 8
+	if n < workers {
+		workers = n
+	}
+	var errMu sync.Mutex
+	var firstErr error
+	reportErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	shard := func(p phase) {
+		var swg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			swg.Add(1)
+			go func(w int) {
+				defer swg.Done()
+				for id := 1 + w; id <= n; id += workers {
+					nd := nodes[id]
+					if p.kind == 0 {
+						nd.doSends(p.slot, p.sends[nd.id], tr, opt, reportErr)
+					} else {
+						nd.doReceive(p.slot, tr, opt, reportErr)
+					}
+				}
+			}(w)
+		}
+		swg.Wait()
+	}
+
+	for t := core.Slot(0); t < opt.Slots; t++ {
+		txs := s.Transmissions(t)
+		bySender := make(map[core.NodeID][]core.Transmission)
+		for _, tx := range txs {
+			bySender[tx.From] = append(bySender[tx.From], tx)
+		}
+		// Source sends (in the coordinator: the source is not an actor).
+		for _, tx := range bySender[core.SourceID] {
+			if opt.Mode == core.Live && core.Slot(tx.Packet) > t {
+				reportErr(fmt.Errorf("runtime: live source asked for future packet %d at slot %d", tx.Packet, t))
+				continue
+			}
+			frame := encodeFrame(tx.Packet, PayloadFor(tx.Packet, opt.PayloadSize))
+			if err := tr.Deliver(core.SourceID, tx.To, frame); err != nil {
+				reportErr(err)
+			}
+		}
+		// Receiver sends, in parallel.
+		shard(phase{sends: bySender, slot: t, kind: 0})
+		if err := tr.Sync(); err != nil {
+			reportErr(err)
+		}
+		// Receives + playback, in parallel (disjoint inboxes).
+		shard(phase{slot: t, kind: 1})
+		errMu.Lock()
+		err := firstErr
+		errMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Reports: make([]NodeReport, n+1)}
+	for id := 1; id <= n; id++ {
+		nd := nodes[id]
+		if core.Packet(nd.played) < opt.Packets {
+			return nil, fmt.Errorf("runtime: node %d played only %d of %d packets", id, nd.played, opt.Packets)
+		}
+		res.Reports[id] = NodeReport{
+			ID: nd.id, Start: nd.start, Hiccups: nd.hiccups,
+			Played: nd.played, MaxBuffer: nd.maxBuf, Received: nd.recv,
+		}
+	}
+	return res, nil
+}
+
+// doSends transmits this node's scheduled packets for the slot.
+func (nd *node) doSends(t core.Slot, txs []core.Transmission, tr Transport, opt Options, fail func(error)) {
+	for _, tx := range txs {
+		payload, ok := nd.store[tx.Packet]
+		if !ok {
+			fail(fmt.Errorf("runtime: slot %d: node %d scheduled to send packet %d it does not hold", t, nd.id, tx.Packet))
+			return
+		}
+		if err := tr.Deliver(nd.id, tx.To, encodeFrame(tx.Packet, payload)); err != nil {
+			fail(err)
+			return
+		}
+	}
+}
+
+// doReceive drains the inbox, verifies payload integrity, stores packets,
+// and advances playback by one slot.
+func (nd *node) doReceive(t core.Slot, tr Transport, opt Options, fail func(error)) {
+	frames, err := tr.Drain(nd.id)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if len(frames) > opt.RecvCap {
+		fail(fmt.Errorf("runtime: slot %d: node %d received %d frames, capacity %d", t, nd.id, len(frames), opt.RecvCap))
+		return
+	}
+	for _, f := range frames {
+		p, payload, err := decodeFrame(f)
+		if err != nil {
+			fail(err)
+			return
+		}
+		if !bytes.Equal(payload, PayloadFor(p, len(payload))) {
+			fail(fmt.Errorf("runtime: node %d: packet %d payload corrupted", nd.id, p))
+			return
+		}
+		if _, dup := nd.store[p]; dup {
+			fail(fmt.Errorf("runtime: node %d: duplicate packet %d", nd.id, p))
+			return
+		}
+		nd.store[p] = append([]byte(nil), payload...)
+		nd.recv++
+	}
+	// Playback buffer occupancy at the end of the slot: packets arrived
+	// but not yet fully played (the packet consumed this slot counts —
+	// the same sampling as the matrix engine). Packets stay in the store
+	// after playback because the schedule may still relay them (a real
+	// deployment evicts once the last scheduled forward has happened).
+	if occ := nd.recv - nd.played; occ > nd.maxBuf {
+		nd.maxBuf = occ
+	}
+	// Adaptive playback: start when packet 0 is here; afterwards consume
+	// the due packet each slot, re-buffering (start++) on underrun.
+	if !nd.started {
+		if _, ok := nd.store[0]; ok {
+			nd.started = true
+			nd.start = t
+		}
+	}
+	if nd.started {
+		due := nd.next
+		if core.Packet(t-nd.start) == due {
+			if _, ok := nd.store[due]; ok {
+				nd.next++
+				nd.played++
+			} else {
+				nd.hiccups++
+				nd.start++ // re-buffer: shift the playback point
+			}
+		}
+	}
+}

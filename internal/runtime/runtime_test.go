@@ -1,0 +1,225 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"streamcast/internal/baseline"
+	"streamcast/internal/core"
+	"streamcast/internal/hypercube"
+	"streamcast/internal/multitree"
+	"streamcast/internal/slotsim"
+)
+
+// crossValidate executes a scheme on both the matrix engine and the
+// concurrent runtime and requires identical playback starts at every node.
+func crossValidate(t *testing.T, s core.Scheme, slots core.Slot, packets core.Packet, mode core.StreamMode, tr Transport) {
+	t.Helper()
+	sim, err := slotsim.Run(s, slotsim.Options{Slots: slots, Packets: packets, Mode: mode})
+	if err != nil {
+		t.Fatalf("%s: slotsim: %v", s.Name(), err)
+	}
+	res, err := Execute(s, Options{
+		Slots: slots, Packets: packets, Mode: mode, Transport: tr,
+	})
+	if err != nil {
+		t.Fatalf("%s: runtime: %v", s.Name(), err)
+	}
+	for id := 1; id <= s.NumReceivers(); id++ {
+		if got, want := res.Reports[id].Start, sim.StartDelay[id]; got != want {
+			t.Errorf("%s node %d: runtime start %d, slotsim %d", s.Name(), id, got, want)
+		}
+		if got, want := res.Reports[id].MaxBuffer, sim.MaxBuffer[id]; got != want {
+			t.Errorf("%s node %d: runtime buffer %d, slotsim %d", s.Name(), id, got, want)
+		}
+	}
+}
+
+// TestRuntimeMatchesSlotsimMultitree cross-validates the two engines on the
+// multi-tree scheme across constructions and modes.
+func TestRuntimeMatchesSlotsimMultitree(t *testing.T) {
+	for _, c := range []multitree.Construction{multitree.Structured, multitree.Greedy} {
+		for _, mode := range []core.StreamMode{core.PreRecorded, core.Live, core.LivePreBuffered} {
+			m, err := multitree.New(40, 3, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := multitree.NewScheme(m, mode)
+			slots := core.Slot(m.Height()*3 + 24)
+			crossValidate(t, s, slots, 9, mode, nil)
+		}
+	}
+}
+
+// TestRuntimeMatchesSlotsimHypercube cross-validates on chained hypercubes.
+func TestRuntimeMatchesSlotsimHypercube(t *testing.T) {
+	for _, n := range []int{7, 20, 63, 100} {
+		s, err := hypercube.New(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lg := 1
+		for 1<<lg < n+1 {
+			lg++
+		}
+		slots := core.Slot(8 + (lg+1)*(lg+1) + 4)
+		crossValidate(t, s, slots, 8, core.Live, nil)
+	}
+}
+
+// TestRuntimeMatchesSlotsimChain cross-validates the chain baseline.
+func TestRuntimeMatchesSlotsimChain(t *testing.T) {
+	c, err := baseline.NewChain(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossValidate(t, c, 40, 8, core.Live, nil)
+}
+
+// TestRuntimeOverNetPipes runs the multi-tree over real net.Pipe
+// connections with the binary frame codec and expects results identical to
+// the channel transport.
+func TestRuntimeOverNetPipes(t *testing.T) {
+	m, err := multitree.New(30, 3, multitree.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := multitree.NewScheme(m, core.PreRecorded)
+	slots := core.Slot(m.Height()*3 + 21)
+	crossValidate(t, s, slots, 9, core.PreRecorded, NewPipeTransport(30, 8))
+}
+
+// TestRuntimeNoHiccupsOnValidSchedules: with a correct schedule the only
+// "hiccups" are warmup re-buffers before the steady start; after
+// convergence each node plays one packet per slot.
+func TestRuntimeNoHiccupsOnValidSchedules(t *testing.T) {
+	m, err := multitree.New(25, 2, multitree.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := multitree.NewScheme(m, core.PreRecorded)
+	res, err := Execute(s, Options{Slots: core.Slot(m.Height()*2 + 20), Packets: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= 25; id++ {
+		rep := res.Reports[id]
+		if rep.Played < 10 {
+			t.Errorf("node %d played %d", id, rep.Played)
+		}
+		// Warmup re-buffers are bounded by the final start delay.
+		if rep.Hiccups > int(rep.Start) {
+			t.Errorf("node %d: %d hiccups > start %d", id, rep.Hiccups, rep.Start)
+		}
+	}
+}
+
+// corruptTransport flips a payload byte of one specific frame.
+type corruptTransport struct {
+	Transport
+	hit bool
+}
+
+func (c *corruptTransport) Deliver(from, to core.NodeID, frame []byte) error {
+	if !c.hit && len(frame) > frameHeader+2 {
+		c.hit = true
+		frame = append([]byte(nil), frame...)
+		frame[frameHeader+1] ^= 0xFF
+	}
+	return c.Transport.Deliver(from, to, frame)
+}
+
+// TestRuntimeDetectsCorruption: a flipped payload byte must be caught by
+// the CRC before it pollutes playback.
+func TestRuntimeDetectsCorruption(t *testing.T) {
+	m, err := multitree.New(10, 2, multitree.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := multitree.NewScheme(m, core.PreRecorded)
+	_, err = Execute(s, Options{
+		Slots: 30, Packets: 6,
+		Transport: &corruptTransport{Transport: NewChanTransport(10, 8)},
+	})
+	if err == nil || !strings.Contains(err.Error(), "crc mismatch") {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+}
+
+// overloadScheme sends two packets to one node in a slot.
+type overloadScheme struct{}
+
+func (overloadScheme) Name() string                             { return "overload" }
+func (overloadScheme) NumReceivers() int                        { return 2 }
+func (overloadScheme) SourceCapacity() int                      { return 2 }
+func (overloadScheme) Neighbors() map[core.NodeID][]core.NodeID { return nil }
+func (overloadScheme) Transmissions(t core.Slot) []core.Transmission {
+	if t == 0 {
+		return []core.Transmission{
+			{From: 0, To: 1, Packet: 0},
+			{From: 0, To: 1, Packet: 1},
+		}
+	}
+	return nil
+}
+
+// TestRuntimeEnforcesReceiveCapacity mirrors the model constraint in the
+// concurrent engine.
+func TestRuntimeEnforcesReceiveCapacity(t *testing.T) {
+	_, err := Execute(overloadScheme{}, Options{Slots: 2, Packets: 1})
+	if err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("capacity violation not detected: %v", err)
+	}
+}
+
+// TestFrameCodec round-trips and rejects malformed frames.
+func TestFrameCodec(t *testing.T) {
+	payload := PayloadFor(42, 96)
+	frame := encodeFrame(42, payload)
+	p, data, err := decodeFrame(frame)
+	if err != nil || p != 42 || len(data) != 96 {
+		t.Fatalf("round trip: p=%d len=%d err=%v", p, len(data), err)
+	}
+	if _, _, err := decodeFrame(frame[:5]); err == nil {
+		t.Error("short frame accepted")
+	}
+	bad := append([]byte(nil), frame...)
+	bad[frameHeader] ^= 1
+	if _, _, err := decodeFrame(bad); err == nil {
+		t.Error("corrupted frame accepted")
+	}
+	wrongLen := append([]byte(nil), frame...)
+	wrongLen = wrongLen[:len(wrongLen)-1]
+	if _, _, err := decodeFrame(wrongLen); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+// TestPayloadDeterminism: the payload generator is a pure function and
+// distinct packets differ.
+func TestPayloadDeterminism(t *testing.T) {
+	a1 := PayloadFor(7, 64)
+	a2 := PayloadFor(7, 64)
+	b := PayloadFor(8, 64)
+	if string(a1) != string(a2) {
+		t.Error("payload not deterministic")
+	}
+	if string(a1) == string(b) {
+		t.Error("distinct packets share payloads")
+	}
+	if len(PayloadFor(1, 10)) != 10 {
+		t.Error("payload size not honored")
+	}
+}
+
+// TestExecuteValidation covers option errors.
+func TestExecuteValidation(t *testing.T) {
+	m, _ := multitree.New(4, 2, multitree.Greedy)
+	s := multitree.NewScheme(m, core.PreRecorded)
+	if _, err := Execute(s, Options{Slots: 0, Packets: 1}); err == nil {
+		t.Error("Slots=0 accepted")
+	}
+	if _, err := Execute(s, Options{Slots: 1, Packets: 0}); err == nil {
+		t.Error("Packets=0 accepted")
+	}
+}

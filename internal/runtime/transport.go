@@ -1,0 +1,227 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"streamcast/internal/core"
+)
+
+// Transport moves encoded frames between nodes. Implementations must allow
+// concurrent Deliver calls from different senders and concurrent Drain
+// calls for different receivers.
+type Transport interface {
+	// Deliver sends an encoded frame from one node to another. It may
+	// block briefly but must not drop frames.
+	Deliver(from, to core.NodeID, frame []byte) error
+	// Drain returns the frames delivered to a node since the last Drain,
+	// in arrival order.
+	Drain(to core.NodeID) ([][]byte, error)
+	// Sync blocks until every frame accepted by Deliver is visible to
+	// Drain — the end-of-slot flush barrier.
+	Sync() error
+	// Close releases transport resources.
+	Close() error
+}
+
+// chanTransport is the in-process transport: one buffered channel per
+// receiving node.
+type chanTransport struct {
+	inbox []chan []byte
+}
+
+// NewChanTransport builds the channel transport for nodes 0..n.
+func NewChanTransport(n, slotCapacity int) Transport {
+	t := &chanTransport{inbox: make([]chan []byte, n+1)}
+	for i := range t.inbox {
+		t.inbox[i] = make(chan []byte, slotCapacity)
+	}
+	return t
+}
+
+func (t *chanTransport) Deliver(from, to core.NodeID, frame []byte) error {
+	if int(to) >= len(t.inbox) || to < 0 {
+		return fmt.Errorf("runtime: deliver to unknown node %d", to)
+	}
+	select {
+	case t.inbox[to] <- frame:
+		return nil
+	default:
+		return fmt.Errorf("runtime: inbox overflow at node %d (sender %d)", to, from)
+	}
+}
+
+func (t *chanTransport) Drain(to core.NodeID) ([][]byte, error) {
+	var out [][]byte
+	for {
+		select {
+		case f := <-t.inbox[to]:
+			out = append(out, f)
+		default:
+			return out, nil
+		}
+	}
+}
+
+func (t *chanTransport) Sync() error { return nil }
+
+func (t *chanTransport) Close() error { return nil }
+
+// pipeTransport moves frames over real net.Conn byte streams (net.Pipe),
+// one connection per directed sender→receiver pair, created lazily. A pump
+// goroutine per connection reads length-prefixed frames off the wire into
+// the receiver's inbox — the same inbox discipline as the channel
+// transport, but the bytes genuinely cross a connection with a wire codec.
+type pipeTransport struct {
+	mu     sync.Mutex
+	conns  map[[2]core.NodeID]net.Conn
+	inbox  []chan []byte
+	errs   chan error
+	closed bool
+	wg     sync.WaitGroup
+
+	// flush bookkeeping: Sync waits until every frame accepted by Deliver
+	// (sent) has been pushed into an inbox by a pump (enqueued).
+	flushMu  sync.Mutex
+	flushCnd *sync.Cond
+	sent     int64
+	enqueued int64
+}
+
+// NewPipeTransport builds the net.Pipe transport for nodes 0..n.
+func NewPipeTransport(n, slotCapacity int) Transport {
+	t := &pipeTransport{
+		conns: make(map[[2]core.NodeID]net.Conn),
+		inbox: make([]chan []byte, n+1),
+		errs:  make(chan error, n+1),
+	}
+	t.flushCnd = sync.NewCond(&t.flushMu)
+	for i := range t.inbox {
+		t.inbox[i] = make(chan []byte, slotCapacity)
+	}
+	return t
+}
+
+// conn returns (creating if needed) the sender side of the from→to pipe.
+func (t *pipeTransport) conn(from, to core.NodeID) (net.Conn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, fmt.Errorf("runtime: transport closed")
+	}
+	key := [2]core.NodeID{from, to}
+	if c, ok := t.conns[key]; ok {
+		return c, nil
+	}
+	a, b := net.Pipe()
+	t.conns[key] = a
+	t.wg.Add(1)
+	go t.pump(b, to)
+	return a, nil
+}
+
+// pump reads length-prefixed frames from the wire into the inbox.
+func (t *pipeTransport) pump(c net.Conn, to core.NodeID) {
+	defer t.wg.Done()
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
+			return // closed
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(c, frame); err != nil {
+			select {
+			case t.errs <- fmt.Errorf("runtime: truncated frame to node %d: %w", to, err):
+			default:
+			}
+			t.flushMu.Lock()
+			t.enqueued++ // keep Sync from deadlocking on the error path
+			t.flushCnd.Broadcast()
+			t.flushMu.Unlock()
+			return
+		}
+		select {
+		case t.inbox[to] <- frame:
+			t.flushMu.Lock()
+			t.enqueued++
+			t.flushCnd.Broadcast()
+			t.flushMu.Unlock()
+		default:
+			select {
+			case t.errs <- fmt.Errorf("runtime: inbox overflow at node %d", to):
+			default:
+			}
+			t.flushMu.Lock()
+			t.enqueued++ // count it so Sync does not deadlock on the error path
+			t.flushCnd.Broadcast()
+			t.flushMu.Unlock()
+			return
+		}
+	}
+}
+
+func (t *pipeTransport) Deliver(from, to core.NodeID, frame []byte) error {
+	if int(to) >= len(t.inbox) || to < 0 {
+		return fmt.Errorf("runtime: deliver to unknown node %d", to)
+	}
+	c, err := t.conn(from, to)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 4+len(frame))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(frame)))
+	copy(buf[4:], frame)
+	if _, err := c.Write(buf); err != nil {
+		return fmt.Errorf("runtime: write %d->%d: %w", from, to, err)
+	}
+	t.flushMu.Lock()
+	t.sent++
+	t.flushMu.Unlock()
+	return nil
+}
+
+func (t *pipeTransport) Sync() error {
+	t.flushMu.Lock()
+	for t.enqueued < t.sent {
+		t.flushCnd.Wait()
+	}
+	t.flushMu.Unlock()
+	select {
+	case err := <-t.errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+func (t *pipeTransport) Drain(to core.NodeID) ([][]byte, error) {
+	select {
+	case err := <-t.errs:
+		return nil, err
+	default:
+	}
+	var out [][]byte
+	for {
+		select {
+		case f := <-t.inbox[to]:
+			out = append(out, f)
+		default:
+			return out, nil
+		}
+	}
+}
+
+func (t *pipeTransport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	for _, c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}

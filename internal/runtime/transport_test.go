@@ -1,0 +1,132 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"streamcast/internal/core"
+	"streamcast/internal/multitree"
+)
+
+// TestResultHelpers covers the aggregate accessors.
+func TestResultHelpers(t *testing.T) {
+	res := &Result{Reports: []NodeReport{
+		{},
+		{ID: 1, Start: 3, Hiccups: 1, MaxBuffer: 2},
+		{ID: 2, Start: 5, Hiccups: 2, MaxBuffer: 4},
+	}}
+	if res.WorstStart() != 5 {
+		t.Errorf("WorstStart %d", res.WorstStart())
+	}
+	if res.WorstBuffer() != 4 {
+		t.Errorf("WorstBuffer %d", res.WorstBuffer())
+	}
+	if res.TotalHiccups() != 3 {
+		t.Errorf("TotalHiccups %d", res.TotalHiccups())
+	}
+}
+
+// badRelayScheme schedules a relay of a packet the sender never received.
+type badRelayScheme struct{}
+
+func (badRelayScheme) Name() string                             { return "bad-relay" }
+func (badRelayScheme) NumReceivers() int                        { return 2 }
+func (badRelayScheme) SourceCapacity() int                      { return 1 }
+func (badRelayScheme) Neighbors() map[core.NodeID][]core.NodeID { return nil }
+func (badRelayScheme) Transmissions(t core.Slot) []core.Transmission {
+	if t == 0 {
+		return []core.Transmission{{From: 1, To: 2, Packet: 0}}
+	}
+	return nil
+}
+
+// TestRuntimeDetectsMissingPayload: a node cannot relay data it never got.
+func TestRuntimeDetectsMissingPayload(t *testing.T) {
+	_, err := Execute(badRelayScheme{}, Options{Slots: 2, Packets: 1})
+	if err == nil || !strings.Contains(err.Error(), "does not hold") {
+		t.Fatalf("missing payload not detected: %v", err)
+	}
+}
+
+// dupScheme delivers the same packet to the same node twice (in different
+// slots, so receive capacity is respected).
+type dupScheme struct{}
+
+func (dupScheme) Name() string                             { return "dup" }
+func (dupScheme) NumReceivers() int                        { return 1 }
+func (dupScheme) SourceCapacity() int                      { return 1 }
+func (dupScheme) Neighbors() map[core.NodeID][]core.NodeID { return nil }
+func (dupScheme) Transmissions(t core.Slot) []core.Transmission {
+	if t <= 1 {
+		return []core.Transmission{{From: 0, To: 1, Packet: 0}}
+	}
+	return nil
+}
+
+// TestRuntimeDetectsDuplicates mirrors the matrix engine's duplicate rule.
+func TestRuntimeDetectsDuplicates(t *testing.T) {
+	_, err := Execute(dupScheme{}, Options{Slots: 3, Packets: 1})
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate not detected: %v", err)
+	}
+}
+
+// TestRuntimeIncompletePlayback: failing to deliver the window is an error.
+func TestRuntimeIncompletePlayback(t *testing.T) {
+	m, err := multitree.New(6, 2, multitree.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := multitree.NewScheme(m, core.PreRecorded)
+	_, err = Execute(s, Options{Slots: 3, Packets: 50})
+	if err == nil || !strings.Contains(err.Error(), "played only") {
+		t.Fatalf("incomplete playback not detected: %v", err)
+	}
+}
+
+// TestPipeTransportLifecycle exercises Deliver/Drain/Sync/Close directly.
+func TestPipeTransportLifecycle(t *testing.T) {
+	tr := NewPipeTransport(3, 4)
+	frame := encodeFrame(5, PayloadFor(5, 16))
+	if err := tr.Deliver(1, 2, frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := tr.Drain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 {
+		t.Fatalf("drained %d frames", len(frames))
+	}
+	p, _, err := decodeFrame(frames[0])
+	if err != nil || p != 5 {
+		t.Fatalf("decode: p=%d err=%v", p, err)
+	}
+	if err := tr.Deliver(1, 9, frame); err == nil {
+		t.Error("deliver to unknown node accepted")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Deliver(1, 2, frame); err == nil {
+		t.Error("deliver after close accepted")
+	}
+}
+
+// TestChanTransportOverflow: exceeding the inbox capacity is an error.
+func TestChanTransportOverflow(t *testing.T) {
+	tr := NewChanTransport(1, 1)
+	f := encodeFrame(0, nil)
+	if err := tr.Deliver(0, 1, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Deliver(0, 1, f); err == nil {
+		t.Error("overflow accepted")
+	}
+	if err := tr.Deliver(0, 5, f); err == nil {
+		t.Error("unknown node accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package session
+
+import (
+	"testing"
+
+	"streamcast/internal/core"
+	"streamcast/internal/slotsim"
+)
+
+// TestSessionNeighborsCoverPartners: the declared (epoch-union) neighbor
+// sets must cover every partner actually used across the swap.
+func TestSessionNeighborsCoverPartners(t *testing.T) {
+	base := baseScheme(t, 21, 3)
+	m := base.Tree
+	s, err := New(base, []Swap{
+		{Slot: 9, A: m.Trees[0][0], B: m.Trees[0][m.NP-1-(m.NP-m.N)]},
+		{Slot: 15, A: 2, B: 17},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := slotsim.VerifyNeighbors(s, 60); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOccupantTracking: after generation passes the swap slot, OccupantOf
+// reflects the exchange.
+func TestOccupantTracking(t *testing.T) {
+	base := baseScheme(t, 12, 2)
+	s, err := New(base, []Swap{{Slot: 5, A: 3, B: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Transmissions(4)
+	if s.OccupantOf(3) != 3 || s.OccupantOf(9) != 9 {
+		t.Fatal("swap applied early")
+	}
+	s.Transmissions(5)
+	if s.OccupantOf(3) != 9 || s.OccupantOf(9) != 3 {
+		t.Fatalf("swap not applied: occ(3)=%d occ(9)=%d", s.OccupantOf(3), s.OccupantOf(9))
+	}
+	// Scheme metadata passthrough.
+	if s.NumReceivers() != 12 || s.SourceCapacity() != 2 {
+		t.Error("metadata passthrough broken")
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+// TestDoubleSwapRoundTrip: swapping the same pair twice restores the base
+// schedule afterwards.
+func TestDoubleSwapRoundTrip(t *testing.T) {
+	base := baseScheme(t, 12, 2)
+	s, err := New(base, []Swap{{Slot: 4, A: 2, B: 7}, {Slot: 8, A: 2, B: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := core.Slot(0); u < 20; u++ {
+		s.Transmissions(u)
+	}
+	if s.OccupantOf(2) != 2 || s.OccupantOf(7) != 7 {
+		t.Error("double swap did not restore identity")
+	}
+	// Slots at or after the second swap must equal the base schedule.
+	for u := core.Slot(8); u < 20; u++ {
+		a, b := base.Transmissions(u), s.Transmissions(u)
+		if len(a) != len(b) {
+			t.Fatalf("slot %d: lengths differ", u)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("slot %d: %v vs %v", u, a[i], b[i])
+			}
+		}
+	}
+}

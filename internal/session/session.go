@@ -1,0 +1,193 @@
+// Package session simulates churn in the middle of an active stream. The
+// appendix's add/delete algorithms all reduce to position swaps between
+// members; here the swaps take effect at specific slots while packets are
+// in flight, so the full blast radius becomes measurable: a member moved to
+// a shallower position skips the rounds its new position already received,
+// a member moved deeper re-receives rounds it already has, and — the part
+// the static analysis in multitree.ChurnImpact cannot see — the descendants
+// of a swapped-in interior member miss relays during the transition window.
+//
+// The session scheme is executed by the ordinary slotsim engine with
+// loss-cascade semantics (a member scheduled to relay a packet it never got
+// simply skips the send), so measured hiccups come from the same oracle as
+// every other experiment.
+package session
+
+import (
+	"fmt"
+	"sort"
+
+	"streamcast/internal/core"
+	"streamcast/internal/multitree"
+)
+
+// Swap exchanges the tree positions of two members at the start of a slot.
+type Swap struct {
+	Slot core.Slot
+	A, B core.NodeID
+}
+
+// Scheme wraps a multi-tree schedule with mid-stream position swaps. It
+// implements core.Scheme; slots must be generated in order (both engines
+// do), replays are served from a memo.
+type Scheme struct {
+	base  *multitree.Scheme
+	swaps []Swap
+
+	// occupant[orig] is the member currently occupying the position set
+	// originally owned by member id orig.
+	occupant []core.NodeID
+	nextSlot core.Slot
+	memo     [][]core.Transmission
+	applied  int
+}
+
+var _ core.Scheme = (*Scheme)(nil)
+
+// New wraps the base scheme with swaps (they are applied in slot order;
+// swaps scheduled for the same slot are applied in input order).
+func New(base *multitree.Scheme, swaps []Swap) (*Scheme, error) {
+	n := base.Tree.N
+	for _, sw := range swaps {
+		if sw.A < 1 || int(sw.A) > n || sw.B < 1 || int(sw.B) > n || sw.A == sw.B {
+			return nil, fmt.Errorf("session: invalid swap %+v", sw)
+		}
+		if sw.Slot < 0 {
+			return nil, fmt.Errorf("session: negative swap slot %d", sw.Slot)
+		}
+	}
+	sorted := append([]Swap(nil), swaps...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Slot < sorted[j].Slot })
+	s := &Scheme{
+		base:     base,
+		swaps:    sorted,
+		occupant: make([]core.NodeID, base.Tree.NP+1),
+	}
+	for id := range s.occupant {
+		s.occupant[id] = core.NodeID(id)
+	}
+	return s, nil
+}
+
+// Name implements core.Scheme.
+func (s *Scheme) Name() string {
+	return fmt.Sprintf("session(%s,%d swaps)", s.base.Name(), len(s.swaps))
+}
+
+// NumReceivers implements core.Scheme.
+func (s *Scheme) NumReceivers() int { return s.base.NumReceivers() }
+
+// SourceCapacity implements core.Scheme.
+func (s *Scheme) SourceCapacity() int { return s.base.SourceCapacity() }
+
+// Neighbors implements core.Scheme: the union over time of every occupant
+// mapping applied to the base neighbor relation. For simplicity (and
+// because swaps only permute members), the full fully-connected-within-
+// positions relation is returned: each member may at some point occupy any
+// swapped position, so the declared set is the union of the base sets of
+// the positions it ever occupies.
+func (s *Scheme) Neighbors() map[core.NodeID][]core.NodeID {
+	// Conservative: run the mapping over all epochs.
+	base := s.base.Neighbors()
+	set := make(map[core.NodeID]map[core.NodeID]bool)
+	add := func(a, b core.NodeID) {
+		if a == core.SourceID {
+			return
+		}
+		if set[a] == nil {
+			set[a] = make(map[core.NodeID]bool)
+		}
+		set[a][b] = true
+	}
+	occ := make([]core.NodeID, len(s.occupant))
+	for i := range occ {
+		occ[i] = core.NodeID(i)
+	}
+	record := func() {
+		for orig, nbs := range base {
+			a := occ[orig]
+			for _, nb := range nbs {
+				b := nb
+				if nb != core.SourceID {
+					b = occ[nb]
+				}
+				add(a, b)
+				add(b, a)
+			}
+		}
+	}
+	record()
+	for _, sw := range s.swaps {
+		ia, ib := -1, -1
+		for i, m := range occ {
+			if m == sw.A {
+				ia = i
+			}
+			if m == sw.B {
+				ib = i
+			}
+		}
+		if ia >= 0 && ib >= 0 {
+			occ[ia], occ[ib] = occ[ib], occ[ia]
+		}
+		record()
+	}
+	out := make(map[core.NodeID][]core.NodeID, len(set))
+	for id, nbs := range set {
+		list := make([]core.NodeID, 0, len(nbs))
+		for nb := range nbs {
+			list = append(list, nb)
+		}
+		out[id] = list
+	}
+	return out
+}
+
+// Transmissions implements core.Scheme.
+func (s *Scheme) Transmissions(t core.Slot) []core.Transmission {
+	for s.nextSlot <= t {
+		s.generate(s.nextSlot)
+		s.nextSlot++
+	}
+	return s.memo[t]
+}
+
+// generate applies due swaps and maps the base slot schedule through the
+// current occupancy.
+func (s *Scheme) generate(t core.Slot) {
+	for s.applied < len(s.swaps) && s.swaps[s.applied].Slot <= t {
+		sw := s.swaps[s.applied]
+		s.applied++
+		ia, ib := -1, -1
+		for i, m := range s.occupant {
+			if m == sw.A {
+				ia = i
+			}
+			if m == sw.B {
+				ib = i
+			}
+		}
+		if ia < 0 || ib < 0 {
+			continue // dummies or out-of-range: ignore
+		}
+		s.occupant[ia], s.occupant[ib] = s.occupant[ib], s.occupant[ia]
+	}
+	baseTxs := s.base.Transmissions(t)
+	txs := make([]core.Transmission, 0, len(baseTxs))
+	for _, tx := range baseTxs {
+		mapped := tx
+		if tx.From != core.SourceID {
+			mapped.From = s.occupant[tx.From]
+		}
+		mapped.To = s.occupant[tx.To]
+		txs = append(txs, mapped)
+	}
+	s.memo = append(s.memo, txs)
+}
+
+// OccupantOf reports which member currently holds the position set
+// originally owned by orig (after all swaps with Slot <= t applied, once
+// generation has passed t).
+func (s *Scheme) OccupantOf(orig core.NodeID) core.NodeID {
+	return s.occupant[orig]
+}

@@ -1,0 +1,443 @@
+// Package slotsim is the slot-synchronous network simulator that executes
+// streaming schemes under the communication model of the paper: in each time
+// slot a receiver may transmit at most one packet and receive at most one
+// packet, the source may transmit up to its capacity, and an intra-cluster
+// transmission occupies exactly one slot (inter-cluster transmissions may be
+// configured to take Tc slots).
+//
+// The engine is deliberately independent of the scheme implementations: it
+// re-validates every constraint (send capacity, receive capacity, sender
+// availability, duplicate suppression) on every slot, so a construction bug
+// in a scheme surfaces as a simulation error rather than silently producing
+// optimistic metrics.
+package slotsim
+
+import (
+	"fmt"
+
+	"streamcast/internal/core"
+)
+
+// unset marks a packet that has not yet arrived at a node.
+const unset core.Slot = -1
+
+// CapacityFunc returns a per-node, per-slot capacity.
+type CapacityFunc func(id core.NodeID) int
+
+// LatencyFunc returns the number of slots a transmission from one node to
+// another occupies. It must return at least 1. A packet sent in slot t with
+// latency L is available at the receiver from slot t+L onward (it arrives at
+// the end of slot t+L-1).
+type LatencyFunc func(from, to core.NodeID) core.Slot
+
+// Options configures a simulation run.
+type Options struct {
+	// Slots is the number of time slots to simulate.
+	Slots core.Slot
+	// Packets is the measurement window: metrics are computed over packets
+	// 0..Packets-1 and the run fails unless every receiver has received all
+	// of them within Slots.
+	Packets core.Packet
+	// Mode is the data-availability assumption at the source. In Live mode
+	// the source may not transmit packet p before slot p.
+	Mode core.StreamMode
+	// SendCap overrides per-node send capacity. If nil, the source uses
+	// the scheme's SourceCapacity and every receiver uses 1.
+	SendCap CapacityFunc
+	// RecvCap overrides per-node receive capacity. If nil, every node
+	// uses 1.
+	RecvCap CapacityFunc
+	// Latency overrides per-link latency. If nil, every link takes 1 slot.
+	Latency LatencyFunc
+	// AllowDuplicates, if set, tolerates a node receiving the same packet
+	// twice (the duplicate is dropped but still consumes receive capacity).
+	// By default a duplicate is a constraint violation.
+	AllowDuplicates bool
+	// Drop, if non-nil, is a failure-injection hook: a transmission for
+	// which it returns true is validated and consumes send capacity but is
+	// lost in flight (it never arrives). Use with AllowIncomplete.
+	Drop func(tx core.Transmission, t core.Slot) bool
+	// AllowIncomplete, if set, lets the run finish even when some node
+	// missed some packet of the measurement window; missing packets are
+	// reported in Result.Missing and excluded from StartDelay.
+	AllowIncomplete bool
+	// SkipUnavailable, if set, silently skips scheduled transmissions
+	// whose sender does not hold the packet instead of flagging a
+	// violation — the loss-cascade behaviour of a real protocol under
+	// failure injection. Only sensible together with Drop.
+	SkipUnavailable bool
+	// ExtraSources marks additional node IDs that behave like sources:
+	// they may transmit packets they never received (used by the cluster
+	// simulator for super nodes is NOT needed — super nodes receive the
+	// stream — but used in tests for standalone sub-schemes).
+	ExtraSources map[core.NodeID]bool
+}
+
+// A Violation describes a broken model constraint detected during execution.
+type Violation struct {
+	Slot core.Slot
+	Kind string
+	Tx   core.Transmission
+}
+
+// Error implements the error interface.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("slotsim: slot %d: %s (%s)", v.Slot, v.Kind, v.Tx)
+}
+
+// Result holds the measured QoS quantities of a run.
+type Result struct {
+	// N is the number of receivers.
+	N int
+	// Packets is the measurement window size.
+	Packets core.Packet
+	// Arrival[node][packet] is the slot at the end of which the packet was
+	// received, or -1 if it never arrived. Arrival[0] is the source row and
+	// is all -1.
+	Arrival [][]core.Slot
+	// StartDelay[node] is the earliest slot s at which the node can begin
+	// playback and then consume one packet per slot without hiccups:
+	// s = max_j (Arrival[node][j] - j) over the measurement window. Packet
+	// j is consumed at the end of slot s+j; as in the paper's Figure 5, a
+	// packet that arrives during a slot may be consumed at the end of that
+	// same slot.
+	StartDelay []core.Slot
+	// MaxBuffer[node] is the peak number of packets simultaneously buffered
+	// at the node, assuming playback starts at StartDelay[node] and a packet
+	// leaves the buffer at the end of its playback slot.
+	MaxBuffer []int
+	// Missing[node] counts packets of the window that never arrived (only
+	// non-zero under Options.AllowIncomplete).
+	Missing []int
+	// SlotsUsed is the last slot in which any measured packet arrived, +1.
+	SlotsUsed core.Slot
+}
+
+// Hiccups counts the playback interruptions node id would suffer if it
+// committed to starting playback at the given slot: packets that are
+// missing entirely or arrive after their playback slot start+j.
+func (r *Result) Hiccups(id core.NodeID, start core.Slot) int {
+	n := 0
+	for j, a := range r.Arrival[id] {
+		if a == unset || a > start+core.Slot(j) {
+			n++
+		}
+	}
+	return n
+}
+
+// WorstStartDelay returns the maximum playback delay over all receivers.
+func (r *Result) WorstStartDelay() core.Slot {
+	var worst core.Slot
+	for id := 1; id <= r.N; id++ {
+		if d := r.StartDelay[id]; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// AvgStartDelay returns the mean playback delay over all receivers.
+func (r *Result) AvgStartDelay() float64 {
+	var sum float64
+	for id := 1; id <= r.N; id++ {
+		sum += float64(r.StartDelay[id])
+	}
+	return sum / float64(r.N)
+}
+
+// WorstBuffer returns the maximum buffer occupancy over all receivers.
+func (r *Result) WorstBuffer() int {
+	worst := 0
+	for id := 1; id <= r.N; id++ {
+		if b := r.MaxBuffer[id]; b > worst {
+			worst = b
+		}
+	}
+	return worst
+}
+
+// Run executes the scheme on the sequential engine.
+func Run(s core.Scheme, opt Options) (*Result, error) {
+	e, err := newEngine(s, opt)
+	if err != nil {
+		return nil, err
+	}
+	for t := core.Slot(0); t < opt.Slots; t++ {
+		txs := s.Transmissions(t)
+		if err := e.step(t, txs); err != nil {
+			return nil, err
+		}
+	}
+	return e.finish()
+}
+
+// engine holds the mutable state of a run shared by the sequential and
+// parallel drivers.
+type engine struct {
+	scheme  core.Scheme
+	opt     Options
+	n       int
+	maxPkt  core.Packet // tracking bound for arrivals (window + slack)
+	arrival [][]core.Slot
+	sendCap CapacityFunc
+	recvCap CapacityFunc
+	latency LatencyFunc
+	// inflight[t] holds transmissions that arrive at the end of slot t,
+	// keyed by absolute slot. Only used when some latency exceeds 1.
+	inflight map[core.Slot][]core.Transmission
+	sent     []int // scratch: per-sender count within the current slot
+	received []int // scratch: per-receiver count within the arrival slot
+}
+
+func newEngine(s core.Scheme, opt Options) (*engine, error) {
+	if opt.Slots <= 0 {
+		return nil, fmt.Errorf("slotsim: Slots must be > 0, got %d", opt.Slots)
+	}
+	if opt.Packets <= 0 {
+		return nil, fmt.Errorf("slotsim: Packets must be > 0, got %d", opt.Packets)
+	}
+	n := s.NumReceivers()
+	if n < 1 {
+		return nil, fmt.Errorf("slotsim: scheme has %d receivers", n)
+	}
+	srcCap := s.SourceCapacity()
+	sendCap := opt.SendCap
+	if sendCap == nil {
+		sendCap = func(id core.NodeID) int {
+			if id == core.SourceID {
+				return srcCap
+			}
+			return 1
+		}
+	}
+	recvCap := opt.RecvCap
+	if recvCap == nil {
+		recvCap = func(core.NodeID) int { return 1 }
+	}
+	latency := opt.Latency
+	if latency == nil {
+		latency = func(core.NodeID, core.NodeID) core.Slot { return 1 }
+	}
+	// Track arrivals for every packet the source could emit in the
+	// simulated horizon, so availability checks work beyond the window.
+	maxPkt := core.Packet(int(opt.Slots)*srcCap + srcCap)
+	if maxPkt < opt.Packets {
+		maxPkt = opt.Packets
+	}
+	arrival := make([][]core.Slot, n+1)
+	backing := make([]core.Slot, (n+1)*int(maxPkt))
+	for i := range backing {
+		backing[i] = unset
+	}
+	for id := 0; id <= n; id++ {
+		arrival[id] = backing[id*int(maxPkt) : (id+1)*int(maxPkt)]
+	}
+	return &engine{
+		scheme:   s,
+		opt:      opt,
+		n:        n,
+		maxPkt:   maxPkt,
+		arrival:  arrival,
+		sendCap:  sendCap,
+		recvCap:  recvCap,
+		latency:  latency,
+		inflight: make(map[core.Slot][]core.Transmission),
+		sent:     make([]int, n+1),
+		received: make([]int, n+1),
+	}, nil
+}
+
+// isSource reports whether the node originates packets without receiving
+// them first.
+func (e *engine) isSource(id core.NodeID) bool {
+	return id == core.SourceID || e.opt.ExtraSources[id]
+}
+
+// holds reports whether the node can transmit packet p during slot t.
+func (e *engine) holds(id core.NodeID, p core.Packet, t core.Slot) bool {
+	if p < 0 {
+		return false
+	}
+	if e.isSource(id) {
+		if e.opt.Mode == core.Live {
+			return core.Slot(p) <= t
+		}
+		return true
+	}
+	if p >= e.maxPkt {
+		return false
+	}
+	a := e.arrival[id][p]
+	return a != unset && a < t
+}
+
+// validateSends checks sender-side constraints for the slot's transmissions.
+func (e *engine) validateSends(t core.Slot, txs []core.Transmission) error {
+	for i := range e.sent {
+		e.sent[i] = 0
+	}
+	for _, tx := range txs {
+		if tx.From < 0 || int(tx.From) > e.n || tx.To < 0 || int(tx.To) > e.n {
+			return &Violation{t, "node id out of range", tx}
+		}
+		if tx.From == tx.To {
+			return &Violation{t, "self transmission", tx}
+		}
+		e.sent[tx.From]++
+		if e.sent[tx.From] > e.sendCap(tx.From) {
+			return &Violation{t, "send capacity exceeded", tx}
+		}
+		if !e.holds(tx.From, tx.Packet, t) {
+			return &Violation{t, "sender does not hold packet", tx}
+		}
+	}
+	return nil
+}
+
+// deliver applies arrivals scheduled for the end of slot t.
+func (e *engine) deliver(t core.Slot, arrivals []core.Transmission) error {
+	for i := range e.received {
+		e.received[i] = 0
+	}
+	for _, tx := range arrivals {
+		e.received[tx.To]++
+		if e.received[tx.To] > e.recvCap(tx.To) {
+			return &Violation{t, "receive capacity exceeded", tx}
+		}
+		if e.isSource(tx.To) {
+			continue // sources discard incoming packets
+		}
+		if tx.Packet >= e.maxPkt {
+			continue // beyond tracking horizon; capacity already counted
+		}
+		if e.arrival[tx.To][tx.Packet] != unset {
+			if !e.opt.AllowDuplicates {
+				return &Violation{t, "duplicate packet", tx}
+			}
+			continue
+		}
+		e.arrival[tx.To][tx.Packet] = t
+	}
+	return nil
+}
+
+// filterUnavailable drops scheduled transmissions whose sender lacks the
+// packet (loss cascading under SkipUnavailable).
+func (e *engine) filterUnavailable(t core.Slot, txs []core.Transmission) []core.Transmission {
+	if !e.opt.SkipUnavailable {
+		return txs
+	}
+	kept := txs[:0:0]
+	for _, tx := range txs {
+		if e.holds(tx.From, tx.Packet, t) {
+			kept = append(kept, tx)
+		}
+	}
+	return kept
+}
+
+// step executes one slot on the sequential engine.
+func (e *engine) step(t core.Slot, txs []core.Transmission) error {
+	txs = e.filterUnavailable(t, txs)
+	if err := e.validateSends(t, txs); err != nil {
+		return err
+	}
+	// Route each transmission to its arrival slot.
+	sameSlot := e.inflight[t]
+	delete(e.inflight, t)
+	for _, tx := range txs {
+		if e.opt.Drop != nil && e.opt.Drop(tx, t) {
+			continue // lost in flight; send capacity already spent
+		}
+		l := e.latency(tx.From, tx.To)
+		if l < 1 {
+			return &Violation{t, "latency below one slot", tx}
+		}
+		if l == 1 {
+			sameSlot = append(sameSlot, tx)
+		} else {
+			at := t + l - 1
+			e.inflight[at] = append(e.inflight[at], tx)
+		}
+	}
+	return e.deliver(t, sameSlot)
+}
+
+// finish computes the Result after the last slot.
+func (e *engine) finish() (*Result, error) {
+	r := &Result{
+		N:          e.n,
+		Packets:    e.opt.Packets,
+		Arrival:    make([][]core.Slot, e.n+1),
+		StartDelay: make([]core.Slot, e.n+1),
+		MaxBuffer:  make([]int, e.n+1),
+		Missing:    make([]int, e.n+1),
+	}
+	for id := 0; id <= e.n; id++ {
+		r.Arrival[id] = e.arrival[id][:e.opt.Packets]
+	}
+	for id := 1; id <= e.n; id++ {
+		row := r.Arrival[id]
+		var worst core.Slot = -1 << 30
+		for j, a := range row {
+			if a == unset {
+				if !e.opt.AllowIncomplete {
+					return nil, fmt.Errorf("slotsim: node %d never received packet %d within %d slots", id, j, e.opt.Slots)
+				}
+				r.Missing[id]++
+				continue
+			}
+			if a > r.SlotsUsed {
+				r.SlotsUsed = a
+			}
+			if lag := a - core.Slot(j); lag > worst {
+				worst = lag
+			}
+		}
+		if worst == -1<<30 {
+			worst = 0 // nothing arrived at all
+		}
+		r.StartDelay[id] = worst
+		r.MaxBuffer[id] = maxBuffer(row, r.StartDelay[id])
+	}
+	r.SlotsUsed++
+	return r, nil
+}
+
+// maxBuffer computes the peak buffer occupancy for one node: packet j
+// occupies the buffer from the end of its arrival slot through the end of
+// slot start+j (its playback slot), inclusive; a packet that arrives in its
+// own playback slot is counted exactly once. Occupancy is sampled at the
+// end of every slot, so a packet played during slot t still counts at the
+// end of t; this matches the paper's "store 2 packets" accounting for the
+// hypercube scheme (one being consumed plus one being disseminated).
+func maxBuffer(arrival []core.Slot, start core.Slot) int {
+	arrCount := make(map[core.Slot]int, len(arrival))
+	var lastSlot core.Slot
+	for _, a := range arrival {
+		if a == unset {
+			continue
+		}
+		arrCount[a]++
+		if a > lastSlot {
+			lastSlot = a
+		}
+	}
+	peak, have := 0, 0
+	for t := core.Slot(0); t <= lastSlot; t++ {
+		have += arrCount[t]
+		// Packets fully played (playback slot strictly before t) are gone.
+		played := int(t - start)
+		if played < 0 {
+			played = 0
+		}
+		if played > len(arrival) {
+			played = len(arrival)
+		}
+		if occ := have - played; occ > peak {
+			peak = occ
+		}
+	}
+	return peak
+}

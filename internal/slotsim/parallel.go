@@ -1,0 +1,164 @@
+package slotsim
+
+import (
+	"runtime"
+	"sync"
+
+	"streamcast/internal/core"
+)
+
+// RunParallel executes the scheme with per-slot fork/join parallelism: sender
+// validation is sharded by sender ID and delivery is sharded by receiver ID,
+// so no two goroutines touch the same node's state. The result is
+// bit-identical with Run — the slot barrier is a hard synchronization point,
+// mirroring the model's lock-step slots.
+//
+// workers <= 0 selects GOMAXPROCS.
+func RunParallel(s core.Scheme, opt Options, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e, err := newEngine(s, opt)
+	if err != nil {
+		return nil, err
+	}
+	p := &parallelDriver{engine: e, workers: workers}
+	for t := core.Slot(0); t < opt.Slots; t++ {
+		txs := s.Transmissions(t)
+		if err := p.step(t, txs); err != nil {
+			return nil, err
+		}
+	}
+	return e.finish()
+}
+
+type parallelDriver struct {
+	*engine
+	workers int
+}
+
+// firstError keeps the violation with the smallest transmission index so the
+// reported error is deterministic regardless of goroutine interleaving.
+type firstError struct {
+	mu  sync.Mutex
+	idx int
+	err error
+}
+
+func (f *firstError) report(idx int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err == nil || idx < f.idx {
+		f.idx, f.err = idx, err
+	}
+}
+
+func (p *parallelDriver) step(t core.Slot, txs []core.Transmission) error {
+	txs = p.filterUnavailable(t, txs)
+	if err := p.validateSendsParallel(t, txs); err != nil {
+		return err
+	}
+	sameSlot := p.inflight[t]
+	delete(p.inflight, t)
+	for _, tx := range txs {
+		if p.opt.Drop != nil && p.opt.Drop(tx, t) {
+			continue
+		}
+		l := p.latency(tx.From, tx.To)
+		if l < 1 {
+			return &Violation{t, "latency below one slot", tx}
+		}
+		if l == 1 {
+			sameSlot = append(sameSlot, tx)
+		} else {
+			at := t + l - 1
+			p.inflight[at] = append(p.inflight[at], tx)
+		}
+	}
+	return p.deliverParallel(t, sameSlot)
+}
+
+// shardFor maps a node to its owning worker.
+func (p *parallelDriver) shardFor(id core.NodeID) int {
+	return int(id) % p.workers
+}
+
+func (p *parallelDriver) validateSendsParallel(t core.Slot, txs []core.Transmission) error {
+	// Range checks first (any worker could hit them; keep deterministic by
+	// doing the cheap scan inline).
+	for _, tx := range txs {
+		if tx.From < 0 || int(tx.From) > p.n || tx.To < 0 || int(tx.To) > p.n {
+			return &Violation{t, "node id out of range", tx}
+		}
+		if tx.From == tx.To {
+			return &Violation{t, "self transmission", tx}
+		}
+	}
+	for i := range p.sent {
+		p.sent[i] = 0
+	}
+	var ferr firstError
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, tx := range txs {
+				if p.shardFor(tx.From) != w {
+					continue
+				}
+				p.sent[tx.From]++
+				if p.sent[tx.From] > p.sendCap(tx.From) {
+					ferr.report(i, &Violation{t, "send capacity exceeded", tx})
+					return
+				}
+				if !p.holds(tx.From, tx.Packet, t) {
+					ferr.report(i, &Violation{t, "sender does not hold packet", tx})
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ferr.err
+}
+
+func (p *parallelDriver) deliverParallel(t core.Slot, arrivals []core.Transmission) error {
+	for i := range p.received {
+		p.received[i] = 0
+	}
+	var ferr firstError
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, tx := range arrivals {
+				if p.shardFor(tx.To) != w {
+					continue
+				}
+				p.received[tx.To]++
+				if p.received[tx.To] > p.recvCap(tx.To) {
+					ferr.report(i, &Violation{t, "receive capacity exceeded", tx})
+					return
+				}
+				if p.isSource(tx.To) {
+					continue
+				}
+				if tx.Packet >= p.maxPkt {
+					continue
+				}
+				if p.arrival[tx.To][tx.Packet] != unset {
+					if !p.opt.AllowDuplicates {
+						ferr.report(i, &Violation{t, "duplicate packet", tx})
+						return
+					}
+					continue
+				}
+				p.arrival[tx.To][tx.Packet] = t
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ferr.err
+}

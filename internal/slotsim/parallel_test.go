@@ -1,0 +1,149 @@
+package slotsim
+
+import (
+	"strings"
+	"testing"
+
+	"streamcast/internal/core"
+)
+
+// TestParallelViolationDetection: the parallel engine reports the same
+// deterministic violations as the sequential one.
+func TestParallelViolationDetection(t *testing.T) {
+	cases := []struct {
+		name   string
+		scheme *stubScheme
+		want   string
+	}{
+		{
+			"send capacity",
+			&stubScheme{n: 3, srcCap: 1, slots: map[core.Slot][]core.Transmission{
+				0: {tx(0, 1, 0)},
+				1: {tx(1, 2, 0), tx(1, 3, 0)},
+			}},
+			"send capacity",
+		},
+		{
+			"receive capacity",
+			&stubScheme{n: 3, srcCap: 2, slots: map[core.Slot][]core.Transmission{
+				0: {tx(0, 1, 0), tx(0, 1, 1)},
+			}},
+			"receive capacity",
+		},
+		{
+			"availability",
+			&stubScheme{n: 2, srcCap: 1, slots: map[core.Slot][]core.Transmission{
+				0: {tx(1, 2, 0)},
+			}},
+			"does not hold",
+		},
+		{
+			"duplicate",
+			&stubScheme{n: 2, srcCap: 1, slots: map[core.Slot][]core.Transmission{
+				0: {tx(0, 1, 0)},
+				1: {tx(0, 2, 0)},
+				2: {tx(1, 2, 0)},
+			}},
+			"duplicate",
+		},
+		{
+			"range",
+			&stubScheme{n: 2, srcCap: 1, slots: map[core.Slot][]core.Transmission{
+				0: {tx(0, 9, 0)},
+			}},
+			"out of range",
+		},
+		{
+			"self",
+			&stubScheme{n: 2, srcCap: 1, slots: map[core.Slot][]core.Transmission{
+				0: {tx(2, 2, 0)},
+			}},
+			"self",
+		},
+	}
+	for _, c := range cases {
+		for _, workers := range []int{1, 3} {
+			_, err := RunParallel(c.scheme, Options{Slots: 4, Packets: 1}, workers)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("%s (workers=%d): got %v, want %q", c.name, workers, err, c.want)
+			}
+		}
+	}
+}
+
+// TestParallelWithLatencyAndDrop: the parallel engine honours latency and
+// failure injection identically to the sequential one.
+func TestParallelWithLatencyAndDrop(t *testing.T) {
+	s := &stubScheme{n: 2, srcCap: 1, slots: map[core.Slot][]core.Transmission{}}
+	for u := core.Slot(0); u < 8; u++ {
+		s.slots[u] = append(s.slots[u], tx(0, 1, core.Packet(u)))
+		if u >= 2 {
+			s.slots[u] = append(s.slots[u], tx(1, 2, core.Packet(u-2)))
+		}
+	}
+	lat := func(from, to core.NodeID) core.Slot {
+		if from == 0 {
+			return 2
+		}
+		return 1
+	}
+	drop := func(x core.Transmission, at core.Slot) bool {
+		return x.To == 2 && x.Packet == 1
+	}
+	opt := Options{
+		Slots: 8, Packets: 4, Latency: lat,
+		Drop: drop, AllowIncomplete: true, SkipUnavailable: true,
+	}
+	seq, err := Run(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(s, opt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= 2; id++ {
+		if seq.Missing[id] != par.Missing[id] {
+			t.Errorf("node %d: missing %d vs %d", id, seq.Missing[id], par.Missing[id])
+		}
+		for j := range seq.Arrival[id] {
+			if seq.Arrival[id][j] != par.Arrival[id][j] {
+				t.Errorf("arrival[%d][%d]: %d vs %d", id, j, seq.Arrival[id][j], par.Arrival[id][j])
+			}
+		}
+	}
+	if seq.Missing[2] != 1 {
+		t.Errorf("dropped packet not missing: %v", seq.Missing)
+	}
+}
+
+// TestParallelOptionErrors covers constructor validation via the parallel
+// entry point.
+func TestParallelOptionErrors(t *testing.T) {
+	s := &stubScheme{n: 1, srcCap: 1}
+	if _, err := RunParallel(s, Options{Slots: 0, Packets: 1}, 2); err == nil {
+		t.Error("Slots=0 accepted")
+	}
+	if _, err := RunParallel(s, Options{Slots: 1, Packets: 0}, 0); err == nil {
+		t.Error("Packets=0 accepted")
+	}
+}
+
+// TestExtraSources: a node marked as an extra source may originate packets.
+func TestExtraSources(t *testing.T) {
+	s := &stubScheme{n: 2, srcCap: 1, slots: map[core.Slot][]core.Transmission{
+		0: {tx(1, 2, 0)},
+		1: {tx(1, 2, 1)},
+	}}
+	res, err := Run(s, Options{
+		Slots: 2, Packets: 2,
+		ExtraSources:    map[core.NodeID]bool{1: true},
+		AllowIncomplete: true, // node 1 itself receives nothing
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrival[2][0] != 0 || res.Arrival[2][1] != 1 {
+		t.Errorf("extra-source deliveries wrong: %v", res.Arrival[2])
+	}
+}

@@ -1,0 +1,64 @@
+package slotsim
+
+import (
+	"fmt"
+	"sort"
+
+	"streamcast/internal/core"
+)
+
+// CollectPartners replays a scheme's schedule for the given number of slots
+// and returns, per node, the set of distinct nodes it actually exchanged
+// packets with. It is the measured counterpart of core.Scheme.Neighbors —
+// the neighbor-count claims of the paper are validated by checking that
+// every measured partner appears in the declared neighbor set.
+func CollectPartners(s core.Scheme, slots core.Slot) map[core.NodeID][]core.NodeID {
+	set := make(map[core.NodeID]map[core.NodeID]bool)
+	add := func(a, b core.NodeID) {
+		if a == core.SourceID {
+			return
+		}
+		if set[a] == nil {
+			set[a] = make(map[core.NodeID]bool)
+		}
+		set[a][b] = true
+	}
+	for t := core.Slot(0); t < slots; t++ {
+		for _, tx := range s.Transmissions(t) {
+			add(tx.From, tx.To)
+			add(tx.To, tx.From)
+		}
+	}
+	out := make(map[core.NodeID][]core.NodeID, len(set))
+	for id, nbs := range set {
+		list := make([]core.NodeID, 0, len(nbs))
+		for nb := range nbs {
+			list = append(list, nb)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		out[id] = list
+	}
+	return out
+}
+
+// VerifyNeighbors checks that every partner measured over the given window
+// is declared in the scheme's Neighbors map. It returns the first
+// discrepancy found.
+func VerifyNeighbors(s core.Scheme, slots core.Slot) error {
+	declared := s.Neighbors()
+	declSet := make(map[core.NodeID]map[core.NodeID]bool, len(declared))
+	for id, nbs := range declared {
+		declSet[id] = make(map[core.NodeID]bool, len(nbs))
+		for _, nb := range nbs {
+			declSet[id][nb] = true
+		}
+	}
+	for id, partners := range CollectPartners(s, slots) {
+		for _, p := range partners {
+			if !declSet[id][p] {
+				return fmt.Errorf("slotsim: node %d exchanged packets with %d, not in its declared neighbor set", id, p)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package slotsim_test
+
+import (
+	"testing"
+
+	"streamcast/internal/baseline"
+	"streamcast/internal/cluster"
+	"streamcast/internal/core"
+	"streamcast/internal/gossip"
+	"streamcast/internal/hypercube"
+	"streamcast/internal/multitree"
+	"streamcast/internal/slotsim"
+)
+
+// TestDeclaredNeighborsCoverActualPartners validates, for every scheme in
+// the repository, that the declared protocol neighbor sets (the quantity
+// the paper bounds) cover every partner the schedule actually uses.
+func TestDeclaredNeighborsCoverActualPartners(t *testing.T) {
+	var schemes []core.Scheme
+
+	for _, c := range []multitree.Construction{multitree.Structured, multitree.Greedy} {
+		m, err := multitree.New(37, 3, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schemes = append(schemes, multitree.NewScheme(m, core.PreRecorded))
+	}
+	for _, n := range []int{7, 23, 100} {
+		h, err := hypercube.New(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schemes = append(schemes, h)
+	}
+	hg, err := hypercube.New(50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes = append(schemes, hg)
+	ch, err := baseline.NewChain(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes = append(schemes, ch)
+	st, err := baseline.NewSingleTree(15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes = append(schemes, st)
+	g, err := gossip.New(25, 2, 4, gossip.PullOldest, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes = append(schemes, g)
+	cl, err := cluster.New(cluster.Config{
+		K: 5, D: 3, Tc: 3, ClusterSize: 8, Degree: 2, Intra: cluster.MultiTree,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes = append(schemes, cl)
+
+	for _, s := range schemes {
+		if err := slotsim.VerifyNeighbors(s, 120); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package stats provides the small summary-statistics toolkit used by the
+// experiment runners: exact percentiles, summaries and fixed-width
+// histograms over per-node QoS samples (the paper reports only worst-case
+// and mean values; distributions are an extension this reproduction adds).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	N              int
+	Min, Max, Mean float64
+	P50, P90, P99  float64
+	StdDev         float64
+	Sum            float64
+}
+
+// Summarize computes a Summary. The input is not modified.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, sumSq float64
+	for _, x := range sorted {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	varc := sumSq/n - mean*mean
+	if varc < 0 {
+		varc = 0
+	}
+	return Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean,
+		P50:    Percentile(sorted, 0.50),
+		P90:    Percentile(sorted, 0.90),
+		P99:    Percentile(sorted, 0.99),
+		StdDev: math.Sqrt(varc),
+		Sum:    sum,
+	}
+}
+
+// Percentile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
+// sample using the nearest-rank method.
+func Percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Bin is one histogram bucket.
+type Bin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram builds `buckets` equal-width bins spanning [min, max]. The
+// maximum value lands in the last bin.
+func Histogram(xs []float64, buckets int) []Bin {
+	if len(xs) == 0 || buckets < 1 {
+		return nil
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		return []Bin{{Lo: lo, Hi: hi, Count: len(xs)}}
+	}
+	width := (hi - lo) / float64(buckets)
+	bins := make([]Bin, buckets)
+	for i := range bins {
+		bins[i].Lo = lo + float64(i)*width
+		bins[i].Hi = lo + float64(i+1)*width
+	}
+	for _, x := range xs {
+		i := int((x - lo) / width)
+		if i >= buckets {
+			i = buckets - 1
+		}
+		bins[i].Count++
+	}
+	return bins
+}
+
+// Sparkline renders a histogram as a compact ASCII bar string, one
+// character per bin.
+func Sparkline(bins []Bin) string {
+	if len(bins) == 0 {
+		return ""
+	}
+	max := 0
+	for _, b := range bins {
+		if b.Count > max {
+			max = b.Count
+		}
+	}
+	if max == 0 {
+		return strings.Repeat(" ", len(bins))
+	}
+	levels := []byte(" .:-=+*#%@")
+	var sb strings.Builder
+	for _, b := range bins {
+		i := b.Count * (len(levels) - 1) / max
+		sb.WriteByte(levels[i])
+	}
+	return sb.String()
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.2f p50=%.2f mean=%.2f p90=%.2f p99=%.2f max=%.2f sd=%.2f",
+		s.N, s.Min, s.P50, s.Mean, s.P90, s.P99, s.Max, s.StdDev)
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeHandValues(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 || s.Sum != 15 {
+		t.Errorf("summary %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("stddev %f", s.StdDev)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Errorf("empty summary %+v", got)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10}, {0.25, 10}, {0.26, 20}, {0.5, 20}, {0.75, 30}, {0.76, 40}, {1, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.q); got != c.want {
+			t.Errorf("P%.2f = %f, want %f", c.q, got, c.want)
+		}
+	}
+}
+
+// TestQuickPercentileProperties: percentiles are monotone in q and bounded
+// by min/max; the summary mean lies within [min, max].
+func TestQuickPercentileProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			p := Percentile(sorted, q)
+			if p < prev || p < s.Min || p > s.Max {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if len(bins) != 5 {
+		t.Fatalf("bins %d", len(bins))
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 10 {
+		t.Errorf("histogram lost samples: %d", total)
+	}
+	if bins[4].Count != 2 { // 8 and 9 (max lands in last bin)
+		t.Errorf("last bin %d, want 2", bins[4].Count)
+	}
+	if one := Histogram([]float64{3, 3, 3}, 4); len(one) != 1 || one[0].Count != 3 {
+		t.Errorf("degenerate histogram %+v", one)
+	}
+	if Histogram(nil, 3) != nil {
+		t.Error("nil input should give nil bins")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	line := Sparkline([]Bin{{Count: 0}, {Count: 5}, {Count: 10}})
+	if len(line) != 3 {
+		t.Fatalf("len %d", len(line))
+	}
+	if line[0] != ' ' || line[2] != '@' {
+		t.Errorf("sparkline %q", line)
+	}
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty sparkline %q", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2})
+	if str := s.String(); len(str) == 0 {
+		t.Error("empty string")
+	}
+}

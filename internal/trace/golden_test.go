@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"streamcast/internal/core"
+	"streamcast/internal/multitree"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares output against a testdata file (regenerate with
+// `go test ./internal/trace -run Golden -update`).
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("%s: rendering changed;\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenFigures(t *testing.T) {
+	m, err := multitree.New(15, 3, multitree.Structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "fig3_structured.txt", Trees(m))
+
+	g, err := multitree.New(15, 3, multitree.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "fig2_node6_greedy.txt", NodeSchedule(multitree.NewScheme(g, core.PreRecorded), 6))
+	golden(t, "fig1_cluster.txt", ClusterTree(9, 3, 4))
+	golden(t, "fig7_pairs.txt", HypercubePairs(3))
+
+	buf, err := HypercubeBufferTrace(3, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "fig5_buffer_trace.txt", buf)
+
+	curves, err := DelayCurves(600, 200, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "fig4_curves.txt", curves)
+}
+
+// TestDelayCurvesShape sanity-checks the chart contents.
+func TestDelayCurvesShape(t *testing.T) {
+	out, err := DelayCurves(400, 200, []int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "d=2") || !strings.Contains(out, "d=5") {
+		t.Errorf("missing degree headers:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Errorf("missing bars:\n%s", out)
+	}
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"streamcast/internal/core"
+	"streamcast/internal/multitree"
+)
+
+func TestTreesRendering(t *testing.T) {
+	m, err := multitree.New(13, 3, multitree.Structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Trees(m)
+	for _, want := range []string{"T_0:", "T_1:", "T_2:", "depth 1:", "depth 3:", "[15*]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Trees output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestNodeScheduleMatchesFigure2 reproduces Figure 2 for node 6 in the
+// Figure 3 greedy trees: node 6 receives from S in T_1 and relays to its
+// children there.
+func TestNodeScheduleMatchesFigure2(t *testing.T) {
+	m, err := multitree.New(15, 3, multitree.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := multitree.NewScheme(m, core.PreRecorded)
+	out := NodeSchedule(s, 6)
+	if !strings.Contains(out, "node 6 (d=3):") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	// In greedy T_1 node 6 is at position 2 (interior), child of S, and
+	// relays to nodes 2, 9 and 4 — exactly the Figure 2(b) schedule.
+	if !strings.Contains(out, "T_1: position 2, receives from S") {
+		t.Errorf("missing T_1 line:\n%s", out)
+	}
+	for _, child := range []string{"sends to 2", "sends to 9", "sends to 4"} {
+		if !strings.Contains(out, child) {
+			t.Errorf("missing %q:\n%s", child, out)
+		}
+	}
+
+	// Figure 2(a): under the structured construction node 6 relays to
+	// nodes 11, 12 and 1.
+	ms, err := multitree.New(15, 3, multitree.Structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outS := NodeSchedule(multitree.NewScheme(ms, core.PreRecorded), 6)
+	for _, child := range []string{"sends to 11", "sends to 12", "sends to 1"} {
+		if !strings.Contains(outS, child) {
+			t.Errorf("structured: missing %q:\n%s", child, outS)
+		}
+	}
+}
+
+func TestClusterTreeRendering(t *testing.T) {
+	out := ClusterTree(9, 3, 4)
+	for _, want := range []string{"source S (capacity D=3)", "S_1", "S_9", "S'_9", "==Tc==>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Clusters 4..9 hang off clusters 1..3.
+	if !strings.Contains(out, "S_1 ==Tc==> S_4") {
+		t.Errorf("backbone structure wrong:\n%s", out)
+	}
+}
+
+func TestHypercubePairsMatchesFigure7(t *testing.T) {
+	out := HypercubePairs(3)
+	// Slot 3n pairs along bit 2: (000,100) …; slot 3n+1 along bit 0.
+	if !strings.Contains(out, "slots t mod 3 = 0: pair along bit 2") {
+		t.Errorf("slot 0 dimension wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "slots t mod 3 = 1: pair along bit 0") {
+		t.Errorf("slot 1 dimension wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "(000,100)") || !strings.Contains(out, "(011,111)") {
+		t.Errorf("pairs missing:\n%s", out)
+	}
+}
+
+func TestHypercubeBufferTrace(t *testing.T) {
+	out, err := HypercubeBufferTrace(3, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"slot 6:", "slot 8:", "N1:", "N7:", "consume", "recv", "send"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// In steady state every node consumes exactly one packet per slot:
+	// count "consume" occurrences in slot 7's block.
+	block := out[strings.Index(out, "slot 7:"):strings.Index(out, "slot 8:")]
+	if got := strings.Count(block, "consume"); got != 7 {
+		t.Errorf("slot 7: %d consumes, want 7\n%s", got, block)
+	}
+}
