@@ -1,0 +1,31 @@
+# Streamcast build/test entry points. Tier-1 verification (ROADMAP.md) is
+# `make ci`: build + vet + full test suite, plus the race pass over the
+# engine and observability packages.
+
+GO ?= go
+
+.PHONY: build test race vet bench ci clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race pass over the packages with real concurrency: the parallel engine
+# and the observer event merging layered on it.
+race:
+	$(GO) test -race ./internal/slotsim/... ./internal/obs/... ./internal/runtime/... ./internal/integration/...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark sweep (one iteration each) — doubles as a reproduction
+# record; see bench_test.go.
+bench:
+	$(GO) test -bench . -benchtime 1x -run XXX .
+
+ci: build vet test race
+
+clean:
+	$(GO) clean ./...

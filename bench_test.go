@@ -15,6 +15,7 @@ import (
 	"streamcast/internal/graph"
 	"streamcast/internal/hypercube"
 	"streamcast/internal/multitree"
+	"streamcast/internal/obs"
 	rt "streamcast/internal/runtime"
 	"streamcast/internal/slotsim"
 )
@@ -245,6 +246,46 @@ func BenchmarkEngineSequentialVsParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkObserverOverhead measures the cost of the observability layer
+// on the sequential engine: no observer (the fast path every pre-existing
+// caller stays on), the Metrics collector, and full event recording.
+func BenchmarkObserverOverhead(b *testing.B) {
+	m, err := multitree.New(2000, 3, multitree.Greedy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := multitree.NewScheme(m, core.PreRecorded)
+	base := slotsim.Options{
+		Slots:   core.Slot(m.Height()*3 + 30),
+		Packets: 9,
+	}
+	b.Run("none", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := slotsim.Run(s, base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("metrics", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opt := base
+			opt.Observer = obs.NewMetrics()
+			if _, err := slotsim.Run(s, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recorder", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opt := base
+			opt.Observer = &obs.Recorder{}
+			if _, err := slotsim.Run(s, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkScheduleGeneration measures raw schedule-emission throughput.

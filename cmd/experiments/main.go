@@ -6,6 +6,8 @@
 //	experiments -run fig4         one experiment
 //	experiments -run table1 -csv  CSV instead of aligned text
 //	experiments -out results/     additionally write one file per table
+//	experiments -run table1 -reports reports/
+//	                              also write a JSON run report per simulation
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 
 	"streamcast/internal/experiments"
 	"streamcast/internal/multitree"
+	"streamcast/internal/obs"
 )
 
 type runner struct {
@@ -25,10 +28,11 @@ type runner struct {
 
 func main() {
 	var (
-		which = flag.String("run", "all", "experiment id or 'all'")
-		csv   = flag.Bool("csv", false, "emit CSV")
-		out   = flag.String("out", "", "directory to write per-table files into")
-		quick = flag.Bool("quick", false, "smaller sweeps for a fast pass")
+		which   = flag.String("run", "all", "experiment id or 'all'")
+		csv     = flag.Bool("csv", false, "emit CSV")
+		out     = flag.String("out", "", "directory to write per-table files into")
+		quick   = flag.Bool("quick", false, "smaller sweeps for a fast pass")
+		reports = flag.String("reports", "", "directory to write a JSON run report per simulation into")
 	)
 	flag.Parse()
 
@@ -97,13 +101,29 @@ func main() {
 		}},
 	}
 
+	if *reports != "" {
+		if err := os.MkdirAll(*reports, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	ran := false
 	for _, r := range all {
 		if *which != "all" && *which != r.name {
 			continue
 		}
 		ran = true
+		if *reports != "" {
+			seq := 0
+			name := r.name
+			experiments.SetReportSink(func(rep *obs.RunReport) {
+				seq++
+				writeReport(rep, filepath.Join(*reports, fmt.Sprintf("%s-%03d.json", name, seq)))
+			})
+		}
 		tab, err := r.run()
+		experiments.SetReportSink(nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.name, err)
 			os.Exit(1)
@@ -132,6 +152,23 @@ func main() {
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *which)
+		os.Exit(1)
+	}
+}
+
+// writeReport saves one JSON run report, exiting on any I/O failure.
+func writeReport(rep *obs.RunReport, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
 }

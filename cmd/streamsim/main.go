@@ -9,11 +9,22 @@
 //	streamsim -scheme chain -n 50
 //	streamsim -scheme singletree -n 50 -d 2
 //	streamsim -scheme cluster -n 20 -k 9 -D 3 -d 4 -tc 5
+//
+// Observability (see OBSERVABILITY.md): any slotsim run can additionally
+// emit Prometheus-format metrics, a JSONL event trace, and a JSON run
+// report with per-slot buffer-occupancy series, and can serve net/http/pprof
+// while running:
+//
+//	streamsim -scheme multitree -n 255 -d 3 -report-out report.json
+//	streamsim -scheme hypercube -n 500 -metrics-out metrics.prom -trace-out events.jsonl
+//	streamsim -scheme multitree -n 100000 -parallel -pprof localhost:6060
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"streamcast/internal/baseline"
@@ -22,6 +33,7 @@ import (
 	"streamcast/internal/gossip"
 	"streamcast/internal/hypercube"
 	"streamcast/internal/multitree"
+	"streamcast/internal/obs"
 	"streamcast/internal/runtime"
 	"streamcast/internal/slotsim"
 )
@@ -42,8 +54,21 @@ func main() {
 		engineName   = flag.String("engine", "slotsim", "slotsim | runtime (goroutine message passing)")
 		seed         = flag.Int64("seed", 1, "seed for the gossip mesh")
 		gossipDeg    = flag.Int("gossip-degree", 5, "gossip neighbor-set size")
+		metricsOut   = flag.String("metrics-out", "", "write Prometheus-format metrics to this file ('-' for stdout)")
+		traceOut     = flag.String("trace-out", "", "write a JSONL event trace to this file ('-' for stdout)")
+		reportOut    = flag.String("report-out", "", "write a JSON run report to this file ('-' for stdout)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "streamsim: pprof: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "streamsim: pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	mode := core.PreRecorded
 	switch *modeName {
@@ -65,8 +90,14 @@ func main() {
 		fatalf("unknown construction %q", *construction)
 	}
 
+	if *engineName == "runtime" && (*metricsOut != "" || *traceOut != "" || *reportOut != "") {
+		fatalf("-metrics-out/-trace-out/-report-out require the slotsim engine (observability is a slotsim feature)")
+	}
+
+	sk, observer := newSinks(*metricsOut, *traceOut, *reportOut)
+
 	if *schemeName == "cluster" {
-		runCluster(*k, *dd, *tc, *n, *d, constr)
+		runCluster(*k, *dd, *tc, *n, *d, constr, sk, observer)
 		return
 	}
 
@@ -134,33 +165,118 @@ func main() {
 		return
 	}
 
+	opt.Observer = observer
 	var (
 		res *slotsim.Result
 		err error
+		wk  int
 	)
 	if *parallel {
+		wk = *workers
 		res, err = slotsim.RunParallel(scheme, opt, *workers)
 	} else {
 		res, err = slotsim.Run(scheme, opt)
 	}
 	check(err)
 	report(scheme, res)
+	sk.finish(scheme, opt, res, wk)
 }
 
-func runCluster(k, dd, tc, n, d int, constr multitree.Construction) {
+func runCluster(k, dd, tc, n, d int, constr multitree.Construction, sk *sinks, observer obs.Observer) {
 	s, err := cluster.New(cluster.Config{
 		K: k, D: dd, Tc: core.Slot(tc), ClusterSize: n,
 		Degree: d, Intra: cluster.MultiTree, Construction: constr,
 	})
 	check(err)
-	res, worst, avg, err := s.Run(core.Packet(3*d), core.Slot(40+8*d))
+	opt := s.Options(core.Packet(3*d), core.Slot(40+8*d))
+	opt.Observer = observer
+	res, err := slotsim.Run(s, opt)
 	check(err)
+	var worst core.Slot
+	var sum float64
+	ids := s.ReceiverIDs()
+	for _, id := range ids {
+		if sd := res.StartDelay[id]; sd > worst {
+			worst = sd
+		}
+		sum += float64(res.StartDelay[id])
+	}
 	fmt.Printf("scheme:        %s\n", s.Name())
 	fmt.Printf("receivers:     %d (over %d clusters)\n", k*n, k)
 	fmt.Printf("worst delay:   %d slots (receivers only)\n", worst)
-	fmt.Printf("avg delay:     %.2f slots (receivers only)\n", avg)
+	fmt.Printf("avg delay:     %.2f slots (receivers only)\n", sum/float64(len(ids)))
 	fmt.Printf("worst buffer:  %d packets\n", res.WorstBuffer())
 	fmt.Printf("slots used:    %d\n", res.SlotsUsed)
+	sk.finish(s, opt, res, 0)
+}
+
+// sinks bundles the CLI's observability outputs: where to write Prometheus
+// metrics, the JSONL trace, and the JSON run report after the run finishes.
+type sinks struct {
+	metrics     *obs.Metrics
+	trace       *obs.JSONLWriter
+	traceFile   *os.File
+	metricsFile *os.File
+	reportFile  *os.File
+}
+
+// newSinks opens every requested output up front — a bad path should fail
+// before a long simulation, not after — and returns the combined observer
+// to attach to the engine (nil when no observability flag was given,
+// preserving the engine's no-observer fast path).
+func newSinks(metricsOut, traceOut, reportOut string) (*sinks, obs.Observer) {
+	sk := &sinks{}
+	var list []obs.Observer
+	if metricsOut != "" || reportOut != "" {
+		sk.metrics = obs.NewMetrics()
+		list = append(list, sk.metrics)
+	}
+	if metricsOut != "" {
+		sk.metricsFile = openOut(metricsOut)
+	}
+	if reportOut != "" {
+		sk.reportFile = openOut(reportOut)
+	}
+	if traceOut != "" {
+		sk.traceFile = openOut(traceOut)
+		sk.trace = obs.NewJSONLWriter(sk.traceFile)
+		list = append(list, sk.trace)
+	}
+	return sk, obs.Combine(list...)
+}
+
+// finish flushes and writes every requested output for a completed run.
+func (sk *sinks) finish(s core.Scheme, opt slotsim.Options, res *slotsim.Result, workers int) {
+	if sk.trace != nil {
+		check(sk.trace.Flush())
+		closeOut(sk.traceFile)
+	}
+	if sk.metricsFile != nil {
+		check(sk.metrics.WriteProm(sk.metricsFile, s.Name()))
+		closeOut(sk.metricsFile)
+	}
+	if sk.reportFile != nil {
+		rep := slotsim.BuildReport(s, opt, res, sk.metrics, workers)
+		check(rep.WriteJSON(sk.reportFile))
+		closeOut(sk.reportFile)
+	}
+}
+
+// openOut opens an output path for writing, treating "-" as stdout.
+func openOut(path string) *os.File {
+	if path == "-" {
+		return os.Stdout
+	}
+	f, err := os.Create(path)
+	check(err)
+	return f
+}
+
+// closeOut closes an output opened by openOut, leaving stdout alone.
+func closeOut(f *os.File) {
+	if f != os.Stdout {
+		check(f.Close())
+	}
 }
 
 func report(s core.Scheme, res *slotsim.Result) {

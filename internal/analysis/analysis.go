@@ -1,6 +1,3 @@
-// Package analysis provides the paper's closed-form bounds and the tree
-// degree optimization of Section 2.3, used by the experiments to compare
-// measured behaviour against theory.
 package analysis
 
 import "math"

@@ -1,0 +1,15 @@
+// Package analysis provides the paper's closed-form bounds, used by the
+// experiments and the integration tests to compare measured behaviour
+// against theory:
+//
+//   - Theorem 2: multi-tree worst-case playback delay h·d (Theorem2Bound);
+//     OptimalDegree implements the Section 2.3 degree optimization that
+//     minimizes it.
+//   - Theorem 3: lower bound on the multi-tree average delay for complete
+//     trees (Theorem3LowerBound).
+//   - Theorem 1: multi-cluster delay estimate Tc·⌈log_{D−1}K⌉ + Ti·d·(h−1)
+//     (Theorem1Bound).
+//   - Propositions 1 and 2: single-cube delay k with buffer 2
+//     (Proposition1Delay, Proposition1Buffer) and the chained-hypercube
+//     worst-case start slot (Proposition2WorstDelay).
+package analysis

@@ -1,0 +1,21 @@
+// Package baseline implements the two strawman schemes from the paper's
+// introduction (Section 1), used as comparison points for the multi-tree
+// and hypercube schemes:
+//
+//   - Chain: the receivers form a list behind the source. Buffering is
+//     O(1) but playback delay is O(N) — "unacceptable for all but a few
+//     nodes".
+//   - SingleTree: one b-ary tree rooted at the source. Playback delay is
+//     O(log_b N) with O(1) buffers, but every interior node must upload b
+//     packets per slot — b times the stream rate — while the leaves (about
+//     a (b−1)/b fraction of the system) upload nothing.
+//
+// Both implement core.Scheme. SingleTree deliberately violates the paper's
+// one-send-per-slot receiver model; SendCap exposes the elevated per-node
+// capacity it needs so the simulator can be configured to admit it, and
+// UploadFactor quantifies the violation.
+//
+// Entry points: NewChain(n) and NewSingleTree(n, b); the experiments
+// compare them against the paper's schemes in
+// internal/experiments.Baselines.
+package baseline

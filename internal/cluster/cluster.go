@@ -1,14 +1,3 @@
-// Package cluster implements the multi-cluster "super-tree" τ of Section
-// 2.1: K clusters, each with two super nodes S_i (capacity D, backbone
-// relay) and S'_i (capacity d, intra-cluster root). The source S streams to
-// the S_i over a backbone tree in which S has degree D and interior nodes
-// degree D−1; every S_i forwards the stream to its backbone children (Tc
-// slots per hop) and to its local S'_i (one slot), below which an
-// intra-cluster scheme (multi-tree or hypercube) distributes packets to the
-// cluster's receivers.
-//
-// Theorem 1: the worst-case playback delay is on the order of
-// Tc·log_{D−1}K + Ti·d(h−1).
 package cluster
 
 import (
@@ -353,19 +342,27 @@ func (s *Scheme) Neighbors() map[core.NodeID][]core.NodeID {
 	return out
 }
 
-// Run simulates the scheme with the right capacity and latency
-// configuration and returns the engine result plus the worst and average
-// start delay over true receivers only.
-func (s *Scheme) Run(packets core.Packet, extraSlots core.Slot) (*slotsim.Result, core.Slot, float64, error) {
+// Options returns the slotsim configuration a multi-cluster run needs:
+// Live mode, the super-node send capacities, Tc-slot backbone latency, and
+// a horizon covering the last cluster's shifted schedule. Callers that want
+// engine features beyond Run's defaults (an observer, the parallel driver)
+// can take these options, adjust them, and invoke the engine directly.
+func (s *Scheme) Options(packets core.Packet, extraSlots core.Slot) slotsim.Options {
 	maxShift := s.shift[s.cfg.K-1]
-	slots := maxShift + core.Slot(packets) + extraSlots
-	res, err := slotsim.Run(s, slotsim.Options{
-		Slots:   slots,
+	return slotsim.Options{
+		Slots:   maxShift + core.Slot(packets) + extraSlots,
 		Packets: packets,
 		Mode:    core.Live,
 		SendCap: s.SendCap,
 		Latency: s.Latency,
-	})
+	}
+}
+
+// Run simulates the scheme with the right capacity and latency
+// configuration and returns the engine result plus the worst and average
+// start delay over true receivers only.
+func (s *Scheme) Run(packets core.Packet, extraSlots core.Slot) (*slotsim.Result, core.Slot, float64, error) {
+	res, err := slotsim.Run(s, s.Options(packets, extraSlots))
 	if err != nil {
 		return nil, 0, 0, err
 	}

@@ -1,14 +1,3 @@
-// Package core defines the shared model types for the streamcast system: the
-// time-slotted communication model of Chow, Golubchik, Khuller and Yao,
-// "On the Tradeoff Between Playback Delay and Buffer Space in Streaming"
-// (USC TR 904 / IPPS 2009).
-//
-// The model: a source streams an ordered sequence of packets to N receivers.
-// Time is divided into slots, each equal to the playback time of one packet.
-// Within a cluster every receiver can transmit one packet and receive one
-// packet per slot; the source can transmit up to d packets per slot. Packets
-// may arrive out of order but must be played back in order at one packet per
-// slot.
 package core
 
 import "fmt"

@@ -1,0 +1,15 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: one runner per artifact (Figure 4 delay curves, Table 1
+// delay/buffer/degree comparison, the cluster sweep behind Theorem 1, the
+// bound-tightness and degree-optimization studies, churn, baselines and
+// extensions), each returning a typed Table that the CLI renders as
+// aligned text or CSV and the benchmarks re-run under the Go benchmark
+// harness. EXPERIMENTS.md records the paper-vs-measured comparison for
+// each runner.
+//
+// Entry points: the runner functions in runners.go and extensions.go
+// (Figure4, Table1, ClusterExperiment, DelayBounds, ...), the Table type
+// in table.go, and SetReportSink, which lets a caller capture an
+// obs.RunReport for every simulation a runner performs (cmd/experiments
+// -reports).
+package experiments

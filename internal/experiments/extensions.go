@@ -85,10 +85,9 @@ func StructuredVsUnstructured(ns []int, d int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		win := core.Packet(3 * d)
 		horizon := core.Slot(12*n/d + 100)
-		gres, err := slotsim.Run(g, slotsim.Options{
-			Slots:           horizon,
-			Packets:         core.Packet(3 * d),
+		gres, err := simulate(g, win, horizon-core.Slot(win), slotsim.Options{
 			Mode:            core.Live,
 			AllowIncomplete: true,
 		})

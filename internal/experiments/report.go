@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"streamcast/internal/core"
+	"streamcast/internal/obs"
+	"streamcast/internal/slotsim"
+)
+
+// reportSink, when set, receives a RunReport for every simulation a runner
+// executes through the shared simulate helper.
+var reportSink func(*obs.RunReport)
+
+// SetReportSink installs (or, with nil, removes) a callback invoked with
+// the machine-readable run report of every engine execution the experiment
+// runners perform — one report per simulated scheme configuration, carrying
+// the per-slot buffer/traffic series behind the table's aggregate numbers.
+// cmd/experiments uses it to implement -reports. Not safe for concurrent
+// runner execution.
+func SetReportSink(fn func(*obs.RunReport)) { reportSink = fn }
+
+// simulate runs a scheme over a standard measurement window, attaching a
+// metrics observer when a report sink is installed.
+func simulate(s core.Scheme, packets core.Packet, extraSlots core.Slot, opt slotsim.Options) (*slotsim.Result, error) {
+	opt.Packets = packets
+	opt.Slots = core.Slot(packets) + extraSlots
+	if reportSink == nil {
+		return slotsim.Run(s, opt)
+	}
+	m := obs.NewMetrics()
+	opt.Observer = obs.Combine(opt.Observer, m)
+	res, err := slotsim.Run(s, opt)
+	if err != nil {
+		return nil, err
+	}
+	reportSink(slotsim.BuildReport(s, opt, res, m, 0))
+	return res, nil
+}

@@ -13,13 +13,6 @@ import (
 	"streamcast/internal/slotsim"
 )
 
-// simulate runs a scheme over a standard measurement window.
-func simulate(s core.Scheme, packets core.Packet, extraSlots core.Slot, opt slotsim.Options) (*slotsim.Result, error) {
-	opt.Packets = packets
-	opt.Slots = core.Slot(packets) + extraSlots
-	return slotsim.Run(s, opt)
-}
-
 // multitreeResult builds and simulates a multi-tree scheme, returning the
 // engine result.
 func multitreeResult(n, d int, c multitree.Construction, mode core.StreamMode) (*multitree.Scheme, *slotsim.Result, error) {

@@ -1,8 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation: one runner per artifact, each returning a typed Table that
-// the CLI renders as aligned text or CSV and the benchmarks re-run under
-// the Go benchmark harness. EXPERIMENTS.md records the paper-vs-measured
-// comparison for each runner.
 package experiments
 
 import (

@@ -1,17 +1,3 @@
-// Package gossip implements an unstructured, best-effort pull mesh — the
-// class of data-driven overlay (CoolStreaming-style) that the paper's
-// introduction contrasts with its structured schemes. Each node knows a
-// small random neighbor set; every slot it asks one random neighbor for a
-// missing packet, the neighbor serving at most one request (the source up
-// to d). There are no delivery guarantees: the experiments show exactly
-// the heavy delay tail and occasional starvation that motivate the paper's
-// provable-QoS constructions.
-//
-// The mesh honours the same communication model as the structured schemes:
-// one send and one receive per node per slot, packets usable one slot
-// after arrival. The schedule is generated slot by slot from a seeded
-// deterministic random stream, so runs are reproducible and replayable by
-// both simulation engines.
 package gossip
 
 import (

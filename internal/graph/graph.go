@@ -1,16 +1,3 @@
-// Package graph implements the appendix material on arbitrary (not fully
-// connected) networks: the Two Interior-Disjoint Tree problem — given an
-// undirected graph G and a root r, do two spanning trees rooted at r exist
-// such that no vertex other than r is interior (has children) in both? —
-// together with an exact exponential solver for small instances, the
-// E4-Set-Splitting problem it is reduced from, and the paper's reduction.
-//
-// The problem is NP-complete, so the solver is a bitmask search: a spanning
-// tree whose interior set is I exists iff r ∈ I, G[I] is connected, and
-// every vertex outside I has a neighbor in I (I is a connected dominating
-// set through r). Two interior-disjoint trees exist iff the vertex set
-// splits into A and its complement with both A∪{r} and (V∖A)∪{r}
-// containing such an I.
 package graph
 
 import "fmt"

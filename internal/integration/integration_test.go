@@ -1,9 +1,3 @@
-// Package integration runs cross-module differential tests: every scheme
-// family is executed by the three independent engines (sequential matrix,
-// goroutine-parallel matrix, concurrent message-passing runtime) and their
-// per-node measurements must agree; declared neighbor sets must cover
-// actual traffic; and analytic bounds must hold on every configuration in
-// the matrix.
 package integration
 
 import (

@@ -1,13 +1,3 @@
-// Package multitree implements the multi-tree streaming scheme of Section 2
-// of the paper: d interior-disjoint d-ary trees over N receivers, all rooted
-// at the source S, together with the round-robin transmission schedule that
-// delivers one packet per node per slot with no collisions.
-//
-// Positions within a tree are numbered in breadth-first order with the source
-// at position 0 and receivers at positions 1..NP, where NP = d·⌈N/d⌉ is the
-// padded size (positions N+1..NP hold dummy leaves, exactly as in the paper).
-// Interior positions are 1..I with I = NP/d − 1; every interior position has
-// exactly d children.
 package multitree
 
 import (

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"streamcast/internal/core"
+)
+
+// jsonEvent is the wire form of one Event: single-line JSON with short
+// keys, omitting fields that do not apply to the event kind.
+type jsonEvent struct {
+	Ev   string      `json:"ev"`
+	T    core.Slot   `json:"t"`
+	N    int         `json:"n,omitempty"`
+	From core.NodeID `json:"from,omitempty"`
+	To   core.NodeID `json:"to,omitempty"`
+	P    core.Packet `json:"p,omitempty"`
+	Dup  bool        `json:"dup,omitempty"`
+	Kind string      `json:"kind,omitempty"`
+}
+
+// hasTx reports whether the event kind carries a transmission.
+func hasTx(k Kind) bool {
+	switch k {
+	case KindTransmit, KindDeliver, KindDrop, KindViolation:
+		return true
+	}
+	return false
+}
+
+// JSONLWriter is an Observer that appends one JSON object per event to an
+// io.Writer — a compact, replayable event log (see ReadEvents). Writes are
+// buffered; call Flush when the run finishes. The first write error is
+// retained and returned by Flush; subsequent events are discarded.
+type JSONLWriter struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewJSONLWriter wraps w in a buffered JSONL event sink.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{bw: bufio.NewWriter(w)}
+}
+
+// write encodes one event as a line.
+func (j *JSONLWriter) write(e Event) {
+	if j.err != nil {
+		return
+	}
+	je := jsonEvent{Ev: e.Kind.String(), T: e.Slot, N: e.Scheduled, Kind: e.Note}
+	if hasTx(e.Kind) {
+		je.From, je.To, je.P, je.Dup = e.Tx.From, e.Tx.To, e.Tx.Packet, e.Dup
+	}
+	b, err := json.Marshal(je)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.bw.Write(append(b, '\n')); err != nil {
+		j.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first error encountered.
+func (j *JSONLWriter) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	return j.bw.Flush()
+}
+
+// SlotStart implements Observer.
+func (j *JSONLWriter) SlotStart(t core.Slot, scheduled int) {
+	j.write(Event{Kind: KindSlotStart, Slot: t, Scheduled: scheduled})
+}
+
+// Transmit implements Observer.
+func (j *JSONLWriter) Transmit(t core.Slot, tx core.Transmission) {
+	j.write(Event{Kind: KindTransmit, Slot: t, Tx: tx})
+}
+
+// Deliver implements Observer.
+func (j *JSONLWriter) Deliver(t core.Slot, tx core.Transmission, duplicate bool) {
+	j.write(Event{Kind: KindDeliver, Slot: t, Tx: tx, Dup: duplicate})
+}
+
+// Drop implements Observer.
+func (j *JSONLWriter) Drop(t core.Slot, tx core.Transmission) {
+	j.write(Event{Kind: KindDrop, Slot: t, Tx: tx})
+}
+
+// Violation implements Observer.
+func (j *JSONLWriter) Violation(t core.Slot, kind string, tx core.Transmission) {
+	j.write(Event{Kind: KindViolation, Slot: t, Tx: tx, Note: kind})
+}
+
+// SlotEnd implements Observer.
+func (j *JSONLWriter) SlotEnd(t core.Slot) {
+	j.write(Event{Kind: KindSlotEnd, Slot: t})
+}
+
+// ReadEvents parses a JSONL event log back into Events, inverting
+// JSONLWriter. Blank lines are skipped.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		var k Kind
+		switch je.Ev {
+		case "slot":
+			k = KindSlotStart
+		case "tx":
+			k = KindTransmit
+		case "rx":
+			k = KindDeliver
+		case "drop":
+			k = KindDrop
+		case "violation":
+			k = KindViolation
+		case "end":
+			k = KindSlotEnd
+		default:
+			return nil, fmt.Errorf("obs: line %d: unknown event %q", line, je.Ev)
+		}
+		e := Event{Kind: k, Slot: je.T, Scheduled: je.N, Dup: je.Dup, Note: je.Kind}
+		if hasTx(k) {
+			e.Tx = core.Transmission{From: je.From, To: je.To, Packet: je.P}
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"streamcast/internal/core"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var rec Recorder
+	var buf strings.Builder
+	both := Combine(&rec, NewJSONLWriter(&buf)).(multi)
+	j := both[1].(*JSONLWriter)
+	replay(both)
+	both.Violation(2, "receive capacity", tx(1, 2, 3))
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEvents(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rec.Events) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", got, rec.Events)
+	}
+}
+
+func TestJSONLWireFormat(t *testing.T) {
+	var buf strings.Builder
+	j := NewJSONLWriter(&buf)
+	j.SlotStart(0, 2)
+	j.Transmit(0, tx(0, 3, 0))
+	j.Deliver(1, tx(3, 4, 2), true)
+	j.SlotEnd(1)
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"ev":"slot","t":0,"n":2}
+{"ev":"tx","t":0,"to":3}
+{"ev":"rx","t":1,"from":3,"to":4,"p":2,"dup":true}
+{"ev":"end","t":1}
+`
+	if buf.String() != want {
+		t.Errorf("wire format:\n got %q\nwant %q", buf.String(), want)
+	}
+}
+
+func TestReadEventsRejectsGarbage(t *testing.T) {
+	if _, err := ReadEvents(strings.NewReader(`{"ev":"nope","t":0}`)); err == nil {
+		t.Error("unknown event kind should error")
+	}
+	if _, err := ReadEvents(strings.NewReader(`not json`)); err == nil {
+		t.Error("malformed line should error")
+	}
+}
+
+// failWriter fails after n successful writes.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestJSONLWriterRetainsFirstError(t *testing.T) {
+	j := NewJSONLWriter(&failWriter{})
+	for t := core.Slot(0); t < 10000; t++ {
+		j.SlotStart(t, 0) // must not panic once the sink has failed
+		j.SlotEnd(t)
+	}
+	if err := j.Flush(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Errorf("Flush() = %v, want the retained write error", err)
+	}
+}

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"fmt"
+	"hash"
+	"hash/fnv"
+
+	"streamcast/internal/core"
+	"streamcast/internal/stats"
+)
+
+// SlotCounters are the per-slot totals the Metrics observer accumulates.
+type SlotCounters struct {
+	Slot core.Slot
+	// Scheduled is the number of transmissions the scheme emitted.
+	Scheduled int
+	// Transmits counts validated sends leaving their sender this slot.
+	Transmits int
+	// Delivers counts arrivals at the end of the slot (duplicates and
+	// discarded source-bound arrivals included).
+	Delivers int
+	// Duplicates counts arrivals of already-held packets.
+	Duplicates int
+	// Drops counts transmissions lost to failure injection.
+	Drops int
+	// InFlight is the number of packets sent but not yet arrived at the
+	// end of the slot (non-zero only when some link latency exceeds 1).
+	InFlight int
+}
+
+// NodeCounters are per-node event totals.
+type NodeCounters struct {
+	Sends, Receives, Duplicates, Drops int
+}
+
+// arrival is one booked packet delivery at a node.
+type arrival struct {
+	pkt  core.Packet
+	slot core.Slot
+}
+
+// Metrics is the standard collecting Observer: per-slot counter series,
+// per-node totals and arrival logs (from which buffer-occupancy
+// time-series are derived), a streaming histogram of per-packet delivery
+// latency, and an FNV-1a fingerprint of the executed schedule.
+//
+// The zero value is not usable; call NewMetrics.
+type Metrics struct {
+	slots    []SlotCounters
+	cur      SlotCounters
+	open     bool
+	inFlight int
+
+	nodes    []NodeCounters
+	arrivals [][]arrival
+
+	latency    *stats.StreamingHist
+	hash       hash.Hash64
+	violations []Event
+	lastSlot   core.Slot
+}
+
+// DefaultLatencyBounds are the delivery-latency histogram bucket bounds in
+// slots: exponential, 1..4096.
+func DefaultLatencyBounds() []float64 { return stats.ExponentialBounds(1, 2, 13) }
+
+// NewMetrics returns an empty collector with the default latency buckets.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		latency: stats.NewStreamingHist(DefaultLatencyBounds()),
+		hash:    fnv.New64a(),
+	}
+}
+
+// grow ensures per-node storage covers id.
+func (m *Metrics) grow(id core.NodeID) {
+	for int(id) >= len(m.nodes) {
+		m.nodes = append(m.nodes, NodeCounters{})
+		m.arrivals = append(m.arrivals, nil)
+	}
+}
+
+// SlotStart implements Observer.
+func (m *Metrics) SlotStart(t core.Slot, scheduled int) {
+	m.cur = SlotCounters{Slot: t, Scheduled: scheduled}
+	m.open = true
+	if t > m.lastSlot {
+		m.lastSlot = t
+	}
+}
+
+// Transmit implements Observer.
+func (m *Metrics) Transmit(t core.Slot, tx core.Transmission) {
+	m.cur.Transmits++
+	m.inFlight++
+	m.grow(tx.From)
+	m.nodes[tx.From].Sends++
+	var buf [32]byte
+	for i, v := range [4]int64{int64(t), int64(tx.From), int64(tx.To), int64(tx.Packet)} {
+		for b := 0; b < 8; b++ {
+			buf[i*8+b] = byte(uint64(v) >> (8 * b))
+		}
+	}
+	m.hash.Write(buf[:])
+}
+
+// Deliver implements Observer.
+func (m *Metrics) Deliver(t core.Slot, tx core.Transmission, duplicate bool) {
+	m.cur.Delivers++
+	m.inFlight--
+	m.grow(tx.To)
+	m.nodes[tx.To].Receives++
+	if duplicate {
+		m.cur.Duplicates++
+		m.nodes[tx.To].Duplicates++
+		return
+	}
+	m.arrivals[tx.To] = append(m.arrivals[tx.To], arrival{pkt: tx.Packet, slot: t})
+	if lag := float64(t) - float64(tx.Packet); lag >= 0 {
+		m.latency.Observe(lag)
+	}
+}
+
+// Drop implements Observer.
+func (m *Metrics) Drop(t core.Slot, tx core.Transmission) {
+	m.cur.Drops++
+	m.grow(tx.From)
+	m.nodes[tx.From].Drops++
+}
+
+// Violation implements Observer.
+func (m *Metrics) Violation(t core.Slot, kind string, tx core.Transmission) {
+	m.violations = append(m.violations, Event{Kind: KindViolation, Slot: t, Tx: tx, Note: kind})
+}
+
+// SlotEnd implements Observer.
+func (m *Metrics) SlotEnd(t core.Slot) {
+	m.cur.InFlight = m.inFlight
+	m.slots = append(m.slots, m.cur)
+	m.open = false
+}
+
+// SlotSeries returns the per-slot counter series, one entry per completed
+// slot in slot order.
+func (m *Metrics) SlotSeries() []SlotCounters { return m.slots }
+
+// NodeCount returns the number of node ids seen (source included).
+func (m *Metrics) NodeCount() int { return len(m.nodes) }
+
+// Node returns the totals of one node (zero value beyond NodeCount).
+func (m *Metrics) Node(id core.NodeID) NodeCounters {
+	if int(id) >= len(m.nodes) {
+		return NodeCounters{}
+	}
+	return m.nodes[id]
+}
+
+// Latency returns the streaming histogram of per-packet delivery latency:
+// for each non-duplicate delivery of packet p at slot t, the lag t − p in
+// slots (how far the packet arrived behind the stream head).
+func (m *Metrics) Latency() *stats.StreamingHist { return m.latency }
+
+// Violations returns the recorded violation events (at most one per run).
+func (m *Metrics) Violations() []Event { return m.violations }
+
+// Fingerprint returns the FNV-1a hash over every transmitted
+// (slot, from, to, packet) tuple in order — a scheme-and-schedule identity
+// that two runs share iff the engine executed the same transmissions.
+func (m *Metrics) Fingerprint() string {
+	return fmt.Sprintf("fnv1a:%016x", m.hash.Sum64())
+}
+
+// Totals sums the slot series.
+func (m *Metrics) Totals() SlotCounters {
+	var tot SlotCounters
+	for _, s := range m.slots {
+		tot.Scheduled += s.Scheduled
+		tot.Transmits += s.Transmits
+		tot.Delivers += s.Delivers
+		tot.Duplicates += s.Duplicates
+		tot.Drops += s.Drops
+	}
+	tot.Slot = m.lastSlot
+	tot.InFlight = m.inFlight
+	return tot
+}
+
+// OccupancySeries derives each node's buffer occupancy at the end of every
+// slot from the recorded arrivals, under the engine's playback model:
+// packet j (within the measurement window) occupies node id's buffer from
+// the end of its arrival slot through the end of slot start[id]+j, its
+// playback slot. The result is indexed [node][slot] with slots 0..lastSlot;
+// rows beyond len(start)-1 or without arrivals are all-zero. The per-node
+// maximum of the series equals the engine's Result.MaxBuffer.
+func (m *Metrics) OccupancySeries(start []core.Slot, window core.Packet) [][]int {
+	slots := int(m.lastSlot) + 1
+	out := make([][]int, len(m.arrivals))
+	for id := range m.arrivals {
+		row := make([]int, slots)
+		out[id] = row
+		if id >= len(start) {
+			continue
+		}
+		arrPerSlot := make([]int, slots)
+		n := 0
+		for _, a := range m.arrivals[id] {
+			if a.pkt >= window || int(a.slot) >= slots {
+				continue
+			}
+			arrPerSlot[a.slot]++
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		have := 0
+		for t := 0; t < slots; t++ {
+			have += arrPerSlot[t]
+			played := t - int(start[id])
+			if played < 0 {
+				played = 0
+			}
+			if played > int(window) {
+				played = int(window)
+			}
+			if occ := have - played; occ > 0 {
+				row[t] = occ
+			}
+		}
+	}
+	return out
+}

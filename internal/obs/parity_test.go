@@ -1,0 +1,154 @@
+package obs_test
+
+import (
+	"fmt"
+	"testing"
+
+	"streamcast/internal/cluster"
+	"streamcast/internal/core"
+	"streamcast/internal/hypercube"
+	"streamcast/internal/multitree"
+	"streamcast/internal/obs"
+	"streamcast/internal/slotsim"
+)
+
+// parityCase is one scheme+options configuration whose observer event
+// stream must be bit-identical between Run and RunParallel.
+type parityCase struct {
+	name   string
+	scheme core.Scheme
+	opt    slotsim.Options
+}
+
+func parityCases(t *testing.T) []parityCase {
+	t.Helper()
+	var cases []parityCase
+
+	for _, mode := range []core.StreamMode{core.PreRecorded, core.Live} {
+		m, err := multitree.New(15, 3, multitree.Greedy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, parityCase{
+			name:   fmt.Sprintf("multitree/%s", mode),
+			scheme: multitree.NewScheme(m, mode),
+			opt:    slotsim.Options{Slots: 40, Packets: 12, Mode: mode},
+		})
+	}
+
+	h, err := hypercube.New(15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, parityCase{
+		name:   "hypercube/live",
+		scheme: h,
+		opt:    slotsim.Options{Slots: 40, Packets: 8, Mode: core.Live},
+	})
+
+	c, err := cluster.New(cluster.Config{
+		K: 4, D: 3, Tc: 5, ClusterSize: 6,
+		Degree: 2, Intra: cluster.MultiTree, Construction: multitree.Greedy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, parityCase{
+		name:   "cluster/live",
+		scheme: c,
+		opt:    c.Options(6, 56),
+	})
+	return cases
+}
+
+// TestRunParallelEventParity: for every scheme family, RunParallel must
+// deliver the exact event sequence the sequential engine delivers — same
+// kinds, same slots, same ordering of deliveries within a slot.
+func TestRunParallelEventParity(t *testing.T) {
+	for _, tc := range parityCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			var seq, par obs.Recorder
+			mseq, mpar := obs.NewMetrics(), obs.NewMetrics()
+
+			opt := tc.opt
+			opt.Observer = obs.Combine(&seq, mseq)
+			sres, err := slotsim.Run(tc.scheme, opt)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+
+			opt.Observer = obs.Combine(&par, mpar)
+			pres, err := slotsim.RunParallel(tc.scheme, opt, 3)
+			if err != nil {
+				t.Fatalf("RunParallel: %v", err)
+			}
+
+			if len(seq.Events) == 0 {
+				t.Fatal("sequential run produced no events")
+			}
+			if len(seq.Events) != len(par.Events) {
+				t.Fatalf("event counts differ: %d vs %d", len(seq.Events), len(par.Events))
+			}
+			for i := range seq.Events {
+				if seq.Events[i] != par.Events[i] {
+					t.Fatalf("event %d differs: %v vs %v", i, seq.Events[i], par.Events[i])
+				}
+			}
+			if mseq.Fingerprint() != mpar.Fingerprint() {
+				t.Errorf("fingerprints differ: %s vs %s", mseq.Fingerprint(), mpar.Fingerprint())
+			}
+			if sres.WorstBuffer() != pres.WorstBuffer() || sres.WorstStartDelay() != pres.WorstStartDelay() {
+				t.Errorf("results differ: buffer %d vs %d, delay %d vs %d",
+					sres.WorstBuffer(), pres.WorstBuffer(),
+					sres.WorstStartDelay(), pres.WorstStartDelay())
+			}
+		})
+	}
+}
+
+// TestRunParallelViolationParity: on a failing schedule both engines emit
+// the same event prefix and the same single Violation event.
+func TestRunParallelViolationParity(t *testing.T) {
+	// Two packets land on node 1 in the same slot: receive-capacity violation.
+	s := &capViolator{}
+	for _, workers := range []int{1, 3} {
+		var seq, par obs.Recorder
+		_, errSeq := slotsim.Run(s, slotsim.Options{Slots: 3, Packets: 2, Observer: &seq})
+		_, errPar := slotsim.RunParallel(s, slotsim.Options{Slots: 3, Packets: 2, Observer: &par}, workers)
+		if errSeq == nil || errPar == nil {
+			t.Fatalf("expected violations, got %v / %v", errSeq, errPar)
+		}
+		if len(seq.Events) != len(par.Events) {
+			t.Fatalf("workers=%d: event counts differ: %d vs %d", workers, len(seq.Events), len(par.Events))
+		}
+		for i := range seq.Events {
+			if seq.Events[i] != par.Events[i] {
+				t.Fatalf("workers=%d: event %d differs: %v vs %v", workers, i, seq.Events[i], par.Events[i])
+			}
+		}
+		last := seq.Events[len(seq.Events)-1]
+		if last.Kind != obs.KindViolation {
+			t.Errorf("last event %v, want a violation", last)
+		}
+	}
+}
+
+// capViolator schedules a receive-capacity violation in slot 1.
+type capViolator struct{}
+
+func (*capViolator) Name() string                             { return "violator" }
+func (*capViolator) NumReceivers() int                        { return 3 }
+func (*capViolator) SourceCapacity() int                      { return 2 }
+func (*capViolator) Neighbors() map[core.NodeID][]core.NodeID { return nil }
+func (*capViolator) Transmissions(t core.Slot) []core.Transmission {
+	switch t {
+	case 0:
+		return []core.Transmission{{From: 0, To: 2, Packet: 0}}
+	case 1:
+		return []core.Transmission{
+			{From: 0, To: 1, Packet: 0},
+			{From: 2, To: 1, Packet: 0},
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWriteProm(t *testing.T) {
+	m := NewMetrics()
+	driveChain(m)
+	var buf strings.Builder
+	if err := m.WriteProm(&buf, "chain(n=2)"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`streamcast_slots_total{scheme="chain(n=2)"} 7`,
+		`streamcast_transmissions_total{scheme="chain(n=2)"} 10`,
+		`streamcast_deliveries_total{scheme="chain(n=2)"} 10`,
+		`streamcast_inflight_packets{scheme="chain(n=2)"} 0`,
+		// 5 lag-0 deliveries fall in the le="1" bucket; the 5 lag-1 ones
+		// join them cumulatively.
+		`streamcast_delivery_latency_slots_bucket{scheme="chain(n=2)",le="1"} 10`,
+		`streamcast_delivery_latency_slots_bucket{scheme="chain(n=2)",le="+Inf"} 10`,
+		`streamcast_delivery_latency_slots_count{scheme="chain(n=2)"} 10`,
+		"# TYPE streamcast_delivery_latency_slots histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Every TYPE declaration appears exactly once.
+	if got := strings.Count(out, "# TYPE "); got != 9 {
+		t.Errorf("%d TYPE lines, want 9", got)
+	}
+}
+
+func TestWritePromPropagatesErrors(t *testing.T) {
+	m := NewMetrics()
+	driveChain(m)
+	// Whichever Fprintf the failure lands on, the error must surface.
+	for n := 0; n < 3; n++ {
+		if err := m.WriteProm(&limitWriter{n: n}, "s"); err == nil {
+			t.Errorf("WriteProm over a failing writer (after %d writes) returned nil", n)
+		}
+	}
+}
+
+// limitWriter fails after n writes.
+type limitWriter struct{ n int }
+
+func (w *limitWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, fmt.Errorf("write limit")
+	}
+	w.n--
+	return len(p), nil
+}

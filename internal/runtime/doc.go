@@ -1,0 +1,17 @@
+// Package runtime executes a streaming scheme as a real concurrent system:
+// one goroutine per node, actual byte payloads moving over a pluggable
+// transport (in-process channels or net.Pipe connections with a binary
+// frame codec), lock-step slots enforced with barriers, and adaptive
+// playback at every node. It is the second, independent implementation of
+// the paper's communication model (Section 1.1) — the test suite
+// cross-validates its measured playback delays against the slotsim matrix
+// engine, and internal/integration runs every scheme family through both.
+//
+// Entry points: Execute(scheme, Options) runs a core.Scheme end to end and
+// returns per-node delay/buffer/hiccup measurements; the Transport
+// interface selects NewChanTransport or NewPipeTransport (the wire codec
+// lives in payload.go).
+// Unlike slotsim, the runtime has no oracle: nodes react only to what
+// actually arrives, so schedule defects show up as hiccups rather than
+// violations.
+package runtime

@@ -1,10 +1,3 @@
-// Package runtime executes a streaming scheme as a real concurrent system:
-// one goroutine per node, actual byte payloads moving over a pluggable
-// transport (in-process channels or net.Pipe connections with a binary
-// frame codec), lock-step slots enforced with barriers, and adaptive
-// playback at every node. It is the second, independent implementation of
-// the paper's communication model — the test suite cross-validates its
-// measured playback delays against the slotsim matrix engine.
 package runtime
 
 import (

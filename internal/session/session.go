@@ -1,16 +1,3 @@
-// Package session simulates churn in the middle of an active stream. The
-// appendix's add/delete algorithms all reduce to position swaps between
-// members; here the swaps take effect at specific slots while packets are
-// in flight, so the full blast radius becomes measurable: a member moved to
-// a shallower position skips the rounds its new position already received,
-// a member moved deeper re-receives rounds it already has, and — the part
-// the static analysis in multitree.ChurnImpact cannot see — the descendants
-// of a swapped-in interior member miss relays during the transition window.
-//
-// The session scheme is executed by the ordinary slotsim engine with
-// loss-cascade semantics (a member scheduled to relay a packet it never got
-// simply skips the send), so measured hiccups come from the same oracle as
-// every other experiment.
 package session
 
 import (

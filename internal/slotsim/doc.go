@@ -1,0 +1,37 @@
+// Package slotsim is the slot-synchronous network simulator that executes
+// streaming schemes under the communication model of the paper (Section 1):
+// in each time slot a receiver may transmit at most one packet and receive
+// at most one packet, the source may transmit up to its capacity d, and an
+// intra-cluster transmission occupies exactly one slot (inter-cluster
+// transmissions may be configured to take Tc slots via Options.Latency).
+//
+// The engine is deliberately independent of the scheme implementations: it
+// re-validates every constraint (send capacity, receive capacity, sender
+// availability, duplicate suppression) on every slot, so a construction bug
+// in a scheme surfaces as a simulation error rather than silently producing
+// optimistic metrics. It is the measurement oracle behind every empirical
+// claim this reproduction makes about the paper's theorems — playback
+// delay (Theorems 1–4), buffer occupancy (Proposition 1, the h·d bound),
+// and the delay/buffer tradeoff of Table 1.
+//
+// Entry points:
+//
+//   - Run executes a core.Scheme sequentially and returns a Result with
+//     per-node arrival times, playback start delays (StartDelay, the
+//     paper's startup delay: max_j arrival_j − j), peak buffer occupancy
+//     under the Figure 5 playback convention, and hiccup accounting.
+//   - RunParallel is the fork/join variant: per-slot sharded validation
+//     and delivery, bit-identical with Run (property-tested), including
+//     the observer event stream.
+//   - Options configures horizon, measurement window, stream mode,
+//     capacities, link latency, failure injection (Drop, SkipUnavailable,
+//     AllowIncomplete) and the observability hook (Observer).
+//   - BuildReport turns a finished run plus an obs.Metrics collector into
+//     a machine-readable obs.RunReport (see OBSERVABILITY.md).
+//
+// Observability: set Options.Observer to receive per-slot callbacks
+// (obs.Observer) — slot boundaries, every transmission, delivery, drop and
+// violation, in a deterministic order shared by both engines. With a nil
+// observer the hook sites reduce to a pointer check and the engines run at
+// full speed.
+package slotsim

@@ -1,21 +1,10 @@
-// Package slotsim is the slot-synchronous network simulator that executes
-// streaming schemes under the communication model of the paper: in each time
-// slot a receiver may transmit at most one packet and receive at most one
-// packet, the source may transmit up to its capacity, and an intra-cluster
-// transmission occupies exactly one slot (inter-cluster transmissions may be
-// configured to take Tc slots).
-//
-// The engine is deliberately independent of the scheme implementations: it
-// re-validates every constraint (send capacity, receive capacity, sender
-// availability, duplicate suppression) on every slot, so a construction bug
-// in a scheme surfaces as a simulation error rather than silently producing
-// optimistic metrics.
 package slotsim
 
 import (
 	"fmt"
 
 	"streamcast/internal/core"
+	"streamcast/internal/obs"
 )
 
 // unset marks a packet that has not yet arrived at a node.
@@ -48,7 +37,15 @@ type Options struct {
 	// uses 1.
 	RecvCap CapacityFunc
 	// Latency overrides per-link latency. If nil, every link takes 1 slot.
+	// A returned latency below 1 is a configuration error: the run aborts
+	// with a descriptive error at the first transmission that uses the
+	// offending link.
 	Latency LatencyFunc
+	// Observer, if non-nil, receives per-slot event callbacks (slot
+	// boundaries, transmissions, deliveries, drops, violations) from both
+	// Run and RunParallel, in an identical, deterministic order. A nil
+	// Observer costs nothing beyond one pointer check per event site.
+	Observer obs.Observer
 	// AllowDuplicates, if set, tolerates a node receiving the same packet
 	// twice (the duplicate is dropped but still consumes receive capacity).
 	// By default a duplicate is a constraint violation.
@@ -188,6 +185,7 @@ type engine struct {
 	inflight map[core.Slot][]core.Transmission
 	sent     []int // scratch: per-sender count within the current slot
 	received []int // scratch: per-receiver count within the arrival slot
+	obs      obs.Observer
 }
 
 func newEngine(s core.Scheme, opt Options) (*engine, error) {
@@ -245,7 +243,18 @@ func newEngine(s core.Scheme, opt Options) (*engine, error) {
 		inflight: make(map[core.Slot][]core.Transmission),
 		sent:     make([]int, n+1),
 		received: make([]int, n+1),
+		obs:      opt.Observer,
 	}, nil
+}
+
+// observeFail forwards a violation to the observer before the run aborts.
+func (e *engine) observeFail(err error) error {
+	if e.obs != nil {
+		if v, ok := err.(*Violation); ok {
+			e.obs.Violation(v.Slot, v.Kind, v.Tx)
+		}
+	}
+	return err
 }
 
 // isSource reports whether the node originates packets without receiving
@@ -305,19 +314,27 @@ func (e *engine) deliver(t core.Slot, arrivals []core.Transmission) error {
 		if e.received[tx.To] > e.recvCap(tx.To) {
 			return &Violation{t, "receive capacity exceeded", tx}
 		}
-		if e.isSource(tx.To) {
-			continue // sources discard incoming packets
-		}
-		if tx.Packet >= e.maxPkt {
-			continue // beyond tracking horizon; capacity already counted
+		if e.isSource(tx.To) || tx.Packet >= e.maxPkt {
+			// Sources discard incoming packets; packets beyond the
+			// tracking horizon only count against capacity.
+			if e.obs != nil {
+				e.obs.Deliver(t, tx, false)
+			}
+			continue
 		}
 		if e.arrival[tx.To][tx.Packet] != unset {
 			if !e.opt.AllowDuplicates {
 				return &Violation{t, "duplicate packet", tx}
 			}
+			if e.obs != nil {
+				e.obs.Deliver(t, tx, true)
+			}
 			continue
 		}
 		e.arrival[tx.To][tx.Packet] = t
+		if e.obs != nil {
+			e.obs.Deliver(t, tx, false)
+		}
 	}
 	return nil
 }
@@ -337,22 +354,25 @@ func (e *engine) filterUnavailable(t core.Slot, txs []core.Transmission) []core.
 	return kept
 }
 
-// step executes one slot on the sequential engine.
-func (e *engine) step(t core.Slot, txs []core.Transmission) error {
-	txs = e.filterUnavailable(t, txs)
-	if err := e.validateSends(t, txs); err != nil {
-		return err
-	}
-	// Route each transmission to its arrival slot.
-	sameSlot := e.inflight[t]
-	delete(e.inflight, t)
+// route assigns each validated transmission to its arrival slot, applying
+// failure injection and link latency. Same-slot (latency 1) arrivals are
+// appended to sameSlot and returned; later arrivals go to the inflight map.
+// Shared by the sequential and parallel drivers.
+func (e *engine) route(t core.Slot, txs []core.Transmission, sameSlot []core.Transmission) ([]core.Transmission, error) {
 	for _, tx := range txs {
 		if e.opt.Drop != nil && e.opt.Drop(tx, t) {
+			if e.obs != nil {
+				e.obs.Drop(t, tx)
+			}
 			continue // lost in flight; send capacity already spent
 		}
 		l := e.latency(tx.From, tx.To)
 		if l < 1 {
-			return &Violation{t, "latency below one slot", tx}
+			return nil, fmt.Errorf("slotsim: slot %d: Latency(%d, %d) returned %d for %s; LatencyFunc must return at least 1",
+				t, tx.From, tx.To, l, tx)
+		}
+		if e.obs != nil {
+			e.obs.Transmit(t, tx)
 		}
 		if l == 1 {
 			sameSlot = append(sameSlot, tx)
@@ -361,7 +381,31 @@ func (e *engine) step(t core.Slot, txs []core.Transmission) error {
 			e.inflight[at] = append(e.inflight[at], tx)
 		}
 	}
-	return e.deliver(t, sameSlot)
+	return sameSlot, nil
+}
+
+// step executes one slot on the sequential engine.
+func (e *engine) step(t core.Slot, txs []core.Transmission) error {
+	if e.obs != nil {
+		e.obs.SlotStart(t, len(txs))
+	}
+	txs = e.filterUnavailable(t, txs)
+	if err := e.validateSends(t, txs); err != nil {
+		return e.observeFail(err)
+	}
+	sameSlot := e.inflight[t]
+	delete(e.inflight, t)
+	sameSlot, err := e.route(t, txs, sameSlot)
+	if err != nil {
+		return err
+	}
+	if err := e.deliver(t, sameSlot); err != nil {
+		return e.observeFail(err)
+	}
+	if e.obs != nil {
+		e.obs.SlotEnd(t)
+	}
+	return nil
 }
 
 // finish computes the Result after the last slot.

@@ -1,0 +1,37 @@
+package slotsim
+
+import (
+	"strings"
+	"testing"
+
+	"streamcast/internal/core"
+)
+
+// TestLatencyBelowOneRejected: a LatencyFunc returning zero or a negative
+// value is a configuration error, not a schedule violation — both engines
+// must fail fast with a clear message instead of corrupting the in-flight
+// bookkeeping (a latency of 0 would deliver a packet one slot before it was
+// sent).
+func TestLatencyBelowOneRejected(t *testing.T) {
+	for _, bad := range []core.Slot{0, -2} {
+		s := &stubScheme{n: 2, srcCap: 1, slots: map[core.Slot][]core.Transmission{
+			0: {tx(0, 1, 0)},
+		}}
+		opt := Options{
+			Slots: 2, Packets: 1,
+			Latency: func(from, to core.NodeID) core.Slot { return bad },
+		}
+		for name, run := range map[string]func() (*Result, error){
+			"Run":         func() (*Result, error) { return Run(s, opt) },
+			"RunParallel": func() (*Result, error) { return RunParallel(s, opt, 2) },
+		} {
+			_, err := run()
+			if err == nil {
+				t.Fatalf("%s with latency %d: no error", name, bad)
+			}
+			if !strings.Contains(err.Error(), "at least 1") {
+				t.Errorf("%s with latency %d: error %q does not explain the constraint", name, bad, err)
+			}
+		}
+	}
+}

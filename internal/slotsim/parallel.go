@@ -2,6 +2,7 @@ package slotsim
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 
 	"streamcast/internal/core"
@@ -12,6 +13,12 @@ import (
 // so no two goroutines touch the same node's state. The result is
 // bit-identical with Run — the slot barrier is a hard synchronization point,
 // mirroring the model's lock-step slots.
+//
+// When Options.Observer is set, each worker collects its deliveries into a
+// private shard tagged with the transmission index; the shards are merged
+// and sorted at the slot barrier before the observer is invoked, so the
+// observed event stream is identical to the sequential engine's (the parity
+// tests in internal/obs assert this byte for byte).
 //
 // workers <= 0 selects GOMAXPROCS.
 func RunParallel(s core.Scheme, opt Options, workers int) (*Result, error) {
@@ -54,28 +61,26 @@ func (f *firstError) report(idx int, err error) {
 }
 
 func (p *parallelDriver) step(t core.Slot, txs []core.Transmission) error {
+	if p.obs != nil {
+		p.obs.SlotStart(t, len(txs))
+	}
 	txs = p.filterUnavailable(t, txs)
 	if err := p.validateSendsParallel(t, txs); err != nil {
-		return err
+		return p.observeFail(err)
 	}
 	sameSlot := p.inflight[t]
 	delete(p.inflight, t)
-	for _, tx := range txs {
-		if p.opt.Drop != nil && p.opt.Drop(tx, t) {
-			continue
-		}
-		l := p.latency(tx.From, tx.To)
-		if l < 1 {
-			return &Violation{t, "latency below one slot", tx}
-		}
-		if l == 1 {
-			sameSlot = append(sameSlot, tx)
-		} else {
-			at := t + l - 1
-			p.inflight[at] = append(p.inflight[at], tx)
-		}
+	sameSlot, err := p.route(t, txs, sameSlot)
+	if err != nil {
+		return err
 	}
-	return p.deliverParallel(t, sameSlot)
+	if err := p.deliverParallel(t, sameSlot); err != nil {
+		return p.observeFail(err)
+	}
+	if p.obs != nil {
+		p.obs.SlotEnd(t)
+	}
+	return nil
 }
 
 // shardFor maps a node to its owning worker.
@@ -123,9 +128,21 @@ func (p *parallelDriver) validateSendsParallel(t core.Slot, txs []core.Transmiss
 	return ferr.err
 }
 
+// shardedDeliver is one worker-local delivery event awaiting the barrier
+// merge, tagged with its index in the slot's arrival list.
+type shardedDeliver struct {
+	idx int
+	tx  core.Transmission
+	dup bool
+}
+
 func (p *parallelDriver) deliverParallel(t core.Slot, arrivals []core.Transmission) error {
 	for i := range p.received {
 		p.received[i] = 0
+	}
+	var shards [][]shardedDeliver
+	if p.obs != nil {
+		shards = make([][]shardedDeliver, p.workers)
 	}
 	var ferr firstError
 	var wg sync.WaitGroup
@@ -142,10 +159,10 @@ func (p *parallelDriver) deliverParallel(t core.Slot, arrivals []core.Transmissi
 					ferr.report(i, &Violation{t, "receive capacity exceeded", tx})
 					return
 				}
-				if p.isSource(tx.To) {
-					continue
-				}
-				if tx.Packet >= p.maxPkt {
+				if p.isSource(tx.To) || tx.Packet >= p.maxPkt {
+					if shards != nil {
+						shards[w] = append(shards[w], shardedDeliver{i, tx, false})
+					}
 					continue
 				}
 				if p.arrival[tx.To][tx.Packet] != unset {
@@ -153,12 +170,37 @@ func (p *parallelDriver) deliverParallel(t core.Slot, arrivals []core.Transmissi
 						ferr.report(i, &Violation{t, "duplicate packet", tx})
 						return
 					}
+					if shards != nil {
+						shards[w] = append(shards[w], shardedDeliver{i, tx, true})
+					}
 					continue
 				}
 				p.arrival[tx.To][tx.Packet] = t
+				if shards != nil {
+					shards[w] = append(shards[w], shardedDeliver{i, tx, false})
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	if shards != nil {
+		// Barrier merge: sort the per-worker shards back into arrival
+		// order and replay them to the observer, truncated at the first
+		// violation — the exact prefix the sequential engine emits.
+		limit := len(arrivals)
+		if ferr.err != nil {
+			limit = ferr.idx
+		}
+		var merged []shardedDeliver
+		for _, s := range shards {
+			merged = append(merged, s...)
+		}
+		sort.Slice(merged, func(a, b int) bool { return merged[a].idx < merged[b].idx })
+		for _, d := range merged {
+			if d.idx < limit {
+				p.obs.Deliver(t, d.tx, d.dup)
+			}
+		}
+	}
 	return ferr.err
 }

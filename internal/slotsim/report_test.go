@@ -1,0 +1,80 @@
+package slotsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"streamcast/internal/core"
+	"streamcast/internal/multitree"
+	"streamcast/internal/obs"
+	"streamcast/internal/slotsim"
+)
+
+// TestBuildReportTable1Config: the report built for the Table 1 N=15,
+// d=3 multi-tree configuration must reproduce the paper's buffer number
+// (max buffer 3, see results/table1.csv) both in the aggregate and as the
+// maximum of the per-slot buffer-occupancy series.
+func TestBuildReportTable1Config(t *testing.T) {
+	m, err := multitree.New(15, 3, multitree.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := multitree.NewScheme(m, core.Live)
+	met := obs.NewMetrics()
+	opt := slotsim.Options{Slots: 35, Packets: 12, Mode: core.Live, Observer: met}
+	res, err := slotsim.Run(scheme, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := slotsim.BuildReport(scheme, opt, res, met, 0)
+
+	if rep.Aggregates.WorstBufferPkts != 3 {
+		t.Errorf("worst buffer %d, want 3 (results/table1.csv, N=15 multi-tree)", rep.Aggregates.WorstBufferPkts)
+	}
+	maxSeries := 0
+	for _, v := range rep.Series.BufferMax {
+		if v > maxSeries {
+			maxSeries = v
+		}
+	}
+	if maxSeries != rep.Aggregates.WorstBufferPkts {
+		t.Errorf("buffer_max series peaks at %d, aggregates say %d", maxSeries, rep.Aggregates.WorstBufferPkts)
+	}
+
+	// Per-node series maxima must agree with the engine's own accounting.
+	occ := met.OccupancySeries(res.StartDelay, res.Packets)
+	for id := core.NodeID(1); int(id) <= res.N; id++ {
+		peak := 0
+		for _, v := range occ[id] {
+			if v > peak {
+				peak = v
+			}
+		}
+		if peak != res.MaxBuffer[id] {
+			t.Errorf("node %d: occupancy series peak %d, engine MaxBuffer %d", id, peak, res.MaxBuffer[id])
+		}
+	}
+
+	if rep.Fingerprint == "" || !strings.HasPrefix(rep.Fingerprint, "fnv1a:") {
+		t.Errorf("fingerprint %q", rep.Fingerprint)
+	}
+	if len(rep.Series.Scheduled) != len(rep.Series.BufferMax) {
+		t.Errorf("series lengths differ: %d vs %d", len(rep.Series.Scheduled), len(rep.Series.BufferMax))
+	}
+	if rep.PerNode.StartDelay[0] != 0 || len(rep.PerNode.StartDelay) != res.N+1 {
+		t.Errorf("per-node start delays %v", rep.PerNode.StartDelay)
+	}
+
+	// Round trip through JSON.
+	var buf strings.Builder
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadReport(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Aggregates != rep.Aggregates {
+		t.Errorf("aggregates changed across JSON round trip: %+v vs %+v", back.Aggregates, rep.Aggregates)
+	}
+}

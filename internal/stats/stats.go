@@ -1,7 +1,3 @@
-// Package stats provides the small summary-statistics toolkit used by the
-// experiment runners: exact percentiles, summaries and fixed-width
-// histograms over per-node QoS samples (the paper reports only worst-case
-// and mean values; distributions are an extension this reproduction adds).
 package stats
 
 import (

@@ -8,7 +8,9 @@ import (
 	"testing"
 
 	"streamcast/internal/core"
+	"streamcast/internal/hypercube"
 	"streamcast/internal/multitree"
+	"streamcast/internal/slotsim"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -62,6 +64,28 @@ func TestGoldenFigures(t *testing.T) {
 		t.Fatal(err)
 	}
 	golden(t, "fig4_curves.txt", curves)
+}
+
+// TestGoldenEventLog pins the JSONL event-log format (obs.JSONLWriter) on
+// a small hypercube run, so external tooling can rely on it.
+func TestGoldenEventLog(t *testing.T) {
+	s, err := hypercube.New(3, 1) // one 2-cube, N = 2^2 - 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := EventLog(s, slotsim.Options{Slots: 8, Packets: 3, Mode: core.Live})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "events_hypercube_k2.jsonl", log)
+
+	slots, transmits, delivers, err := EventSummary(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slots != 8 || transmits == 0 || transmits != delivers {
+		t.Errorf("summary slots=%d transmits=%d delivers=%d", slots, transmits, delivers)
+	}
 }
 
 // TestDelayCurvesShape sanity-checks the chart contents.

@@ -1,7 +1,3 @@
-// Package trace renders the paper's figures as text: tree layouts
-// (Figure 3), per-node transmission schedules (Figure 2), the cluster
-// super-tree (Figure 1), hypercube pairing patterns (Figure 7), and the
-// slot-by-slot buffer evolution of the hypercube scheme (Figures 5 and 6).
 package trace
 
 import (
