@@ -1,10 +1,10 @@
 # Streamcast build/test entry points. Tier-1 verification (ROADMAP.md) is
-# `make ci`: build + vet + full test suite, plus the race pass over the
-# engine and observability packages.
+# `make ci`: build + vet + streamvet lint + full test suite, plus the race
+# pass over the engine and observability packages.
 
 GO ?= go
 
-.PHONY: build test race vet bench ci clean
+.PHONY: build test race vet lint bench ci clean
 
 build:
 	$(GO) build ./...
@@ -20,12 +20,17 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Project-specific static analysis: the streamvet analyzers (see
+# STATIC_ANALYSIS.md) over every package in the module.
+lint:
+	$(GO) run ./cmd/streamvet
+
 # Full benchmark sweep (one iteration each) — doubles as a reproduction
 # record; see bench_test.go.
 bench:
 	$(GO) test -bench . -benchtime 1x -run XXX .
 
-ci: build vet test race
+ci: build vet lint test race
 
 clean:
 	$(GO) clean ./...

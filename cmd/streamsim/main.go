@@ -10,6 +10,13 @@
 //	streamsim -scheme singletree -n 50 -d 2
 //	streamsim -scheme cluster -n 20 -k 9 -D 3 -d 4 -tc 5
 //
+// The -check flag runs the static schedule/mesh verifier (internal/check,
+// see STATIC_ANALYSIS.md) as a preflight: the run aborts with precise
+// diagnostics if the construction violates the paper's structural
+// invariants or closed-form bounds:
+//
+//	streamsim -scheme multitree -n 100 -d 3 -check
+//
 // Observability (see OBSERVABILITY.md): any slotsim run can additionally
 // emit Prometheus-format metrics, a JSONL event trace, and a JSON run
 // report with per-slot buffer-occupancy series, and can serve net/http/pprof
@@ -28,6 +35,7 @@ import (
 	"os"
 
 	"streamcast/internal/baseline"
+	chk "streamcast/internal/check"
 	"streamcast/internal/cluster"
 	"streamcast/internal/core"
 	"streamcast/internal/gossip"
@@ -49,6 +57,7 @@ func main() {
 		k            = flag.Int("k", 4, "clusters (cluster scheme)")
 		dd           = flag.Int("D", 3, "backbone degree D (cluster scheme)")
 		tc           = flag.Int("tc", 5, "inter-cluster latency Tc (cluster scheme)")
+		doCheck      = flag.Bool("check", false, "statically verify the schedule and mesh (internal/check) before running")
 		parallel     = flag.Bool("parallel", false, "use the goroutine-parallel engine")
 		workers      = flag.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
 		engineName   = flag.String("engine", "slotsim", "slotsim | runtime (goroutine message passing)")
@@ -97,7 +106,7 @@ func main() {
 	sk, observer := newSinks(*metricsOut, *traceOut, *reportOut)
 
 	if *schemeName == "cluster" {
-		runCluster(*k, *dd, *tc, *n, *d, constr, sk, observer)
+		runCluster(*k, *dd, *tc, *n, *d, constr, *doCheck, sk, observer)
 		return
 	}
 
@@ -105,14 +114,20 @@ func main() {
 		scheme core.Scheme
 		opt    slotsim.Options
 		extra  core.Slot
+		// mkCheckOpt builds the -check preflight options once the
+		// measurement window is known; nil falls back to a generic audit
+		// derived from the engine options.
+		mkCheckOpt func(win core.Packet) chk.Options
 	)
 	opt.Mode = mode
 	switch *schemeName {
 	case "multitree":
 		m, err := multitree.New(*n, *d, constr)
 		check(err)
-		scheme = multitree.NewScheme(m, mode)
+		s := multitree.NewScheme(m, mode)
+		scheme = s
 		extra = core.Slot(m.Height()**d + 4**d + 2)
+		mkCheckOpt = func(win core.Packet) chk.Options { return chk.MultiTreeOptions(s, win) }
 	case "hypercube":
 		h, err := hypercube.New(*n, *d)
 		check(err)
@@ -123,6 +138,7 @@ func main() {
 			lg++
 		}
 		extra = core.Slot((lg+1)*(lg+1) + 4)
+		mkCheckOpt = func(win core.Packet) chk.Options { return chk.HypercubeOptions(h, win) }
 	case "chain":
 		c, err := baseline.NewChain(*n)
 		check(err)
@@ -150,7 +166,19 @@ func main() {
 		win = core.Packet(4 * *d)
 	}
 	opt.Packets = win
-	opt.Slots = core.Slot(win) + extra
+	opt.Slots = core.Slot(int(win)) + extra
+
+	if *doCheck {
+		chkOpt := chk.Options{
+			Horizon: opt.Slots, Packets: win, Mode: opt.Mode,
+			SendCap: opt.SendCap, CheckMesh: true,
+			AllowIncomplete: opt.AllowIncomplete,
+		}
+		if mkCheckOpt != nil {
+			chkOpt = mkCheckOpt(win)
+		}
+		preflight(scheme, chkOpt)
+	}
 
 	if *engineName == "runtime" {
 		rres, err := runtime.Execute(scheme, runtime.Options{
@@ -182,12 +210,15 @@ func main() {
 	sk.finish(scheme, opt, res, wk)
 }
 
-func runCluster(k, dd, tc, n, d int, constr multitree.Construction, sk *sinks, observer obs.Observer) {
+func runCluster(k, dd, tc, n, d int, constr multitree.Construction, doCheck bool, sk *sinks, observer obs.Observer) {
 	s, err := cluster.New(cluster.Config{
 		K: k, D: dd, Tc: core.Slot(tc), ClusterSize: n,
 		Degree: d, Intra: cluster.MultiTree, Construction: constr,
 	})
 	check(err)
+	if doCheck {
+		preflight(s, chk.ClusterOptions(s, core.Packet(3*d), core.Slot(40+8*d)))
+	}
 	opt := s.Options(core.Packet(3*d), core.Slot(40+8*d))
 	opt.Observer = observer
 	res, err := slotsim.Run(s, opt)
@@ -293,6 +324,21 @@ func report(s core.Scheme, res *slotsim.Result) {
 	}
 	fmt.Printf("max neighbors: %d\n", maxNb)
 	fmt.Printf("slots used:    %d\n", res.SlotsUsed)
+}
+
+// preflight runs the static schedule/mesh verifier and aborts with every
+// diagnostic when the construction is rejected.
+func preflight(s core.Scheme, opt chk.Options) {
+	rep, err := chk.Static(s, opt)
+	check(err)
+	if !rep.OK() {
+		for _, is := range rep.Issues {
+			fmt.Fprintf(os.Stderr, "streamsim: check: %s\n", is)
+		}
+		fatalf("static check rejected %s (%d issues)", rep.Scheme, len(rep.Issues))
+	}
+	fmt.Fprintf(os.Stderr, "streamsim: check: %s ok (worst delay %d, worst buffer %d)\n",
+		rep.Scheme, rep.WorstDelay, rep.WorstBuffer)
 }
 
 func check(err error) {

@@ -1,0 +1,68 @@
+// Command streamvet is the repository's static-analysis gate: a multichecker
+// running the repo-specific analyzers of internal/lint over the module (see
+// STATIC_ANALYSIS.md for what each analyzer enforces and how to suppress a
+// finding).
+//
+//	streamvet                     check every package of the module
+//	streamvet -analyzers slottypes,obsguard
+//	streamvet -list               print the analyzers and exit
+//
+// Exit status is 1 when any diagnostic (or type-check failure) is reported,
+// 0 otherwise, so `make lint` can gate CI on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamcast/internal/lint"
+)
+
+func main() {
+	var (
+		analyzers = flag.String("analyzers", "all", "comma-separated analyzer names, or 'all'")
+		list      = flag.Bool("list", false, "list available analyzers and exit")
+		dir       = flag.String("dir", ".", "directory inside the module to check")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected, err := lint.ByName(*analyzers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	loader, err := lint.NewLoader(*dir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	failed := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			failed = true
+			fmt.Fprintf(os.Stderr, "%v\n", terr)
+		}
+	}
+	for _, d := range lint.RunAnalyzers(pkgs, selected) {
+		failed = true
+		fmt.Println(d)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "streamvet: "+format+"\n", args...)
+	os.Exit(1)
+}

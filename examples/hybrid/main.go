@@ -25,7 +25,7 @@ type measurement struct {
 
 func measure(s core.Scheme, packets core.Packet, extra core.Slot, mode core.StreamMode) (measurement, error) {
 	res, err := slotsim.Run(s, slotsim.Options{
-		Slots:   core.Slot(packets) + extra,
+		Slots:   core.Slot(int(packets)) + extra,
 		Packets: packets,
 		Mode:    mode,
 	})

@@ -80,16 +80,13 @@ func Theorem3LowerBound(n, d int) float64 {
 	return num / (float64(n) * (df - 1))
 }
 
-// Theorem1Bound returns the multi-cluster worst-case delay estimate of
-// Theorem 1: Tc·⌈log_{D−1}K⌉ + Ti·d·(h−1), where h is the maximum height
-// of the intra-cluster trees.
-func Theorem1Bound(k, dd int, tc, ti, d, h int) int {
+// BackboneDepth returns the depth of the inter-cluster backbone tree for K
+// clusters with source degree D and interior degree D−1: the smallest β with
+// D·(D−1)^(β−1) cumulative coverage >= K. Zero for degenerate inputs.
+func BackboneDepth(k, dd int) int {
 	if k < 1 || dd < 3 {
 		return 0
 	}
-	// Depth of the backbone tree: root has D children, interior nodes
-	// D−1; the smallest depth β with D·(D−1)^(β−1) cumulative coverage
-	// >= K.
 	depth, covered, level := 0, 0, 1
 	for covered < k {
 		if depth == 0 {
@@ -100,7 +97,17 @@ func Theorem1Bound(k, dd int, tc, ti, d, h int) int {
 		covered += level
 		depth++
 	}
-	return tc*depth + ti*d*(h-1)
+	return depth
+}
+
+// Theorem1Bound returns the multi-cluster worst-case delay estimate of
+// Theorem 1: Tc·⌈log_{D−1}K⌉ + Ti·d·(h−1), where h is the maximum height
+// of the intra-cluster trees.
+func Theorem1Bound(k, dd int, tc, ti, d, h int) int {
+	if k < 1 || dd < 3 {
+		return 0
+	}
+	return tc*BackboneDepth(k, dd) + ti*d*(h-1)
 }
 
 // Proposition1Delay returns the single-cube playback start bound for

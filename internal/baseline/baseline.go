@@ -34,9 +34,9 @@ func (c *Chain) SourceCapacity() int { return 1 }
 // and node i relays the packet it received in the previous slot.
 func (c *Chain) Transmissions(t core.Slot) []core.Transmission {
 	out := make([]core.Transmission, 0, c.N)
-	out = append(out, core.Transmission{From: core.SourceID, To: 1, Packet: core.Packet(t)})
+	out = append(out, core.Transmission{From: core.SourceID, To: 1, Packet: core.Packet(int(t))})
 	for i := 1; i < c.N; i++ {
-		pkt := core.Packet(t - core.Slot(i))
+		pkt := core.Packet(int(t) - i)
 		if pkt < 0 {
 			break
 		}
@@ -108,7 +108,7 @@ func (s *SingleTree) depth(p int) core.Slot {
 func (s *SingleTree) Transmissions(t core.Slot) []core.Transmission {
 	out := make([]core.Transmission, 0, s.N)
 	for p := 1; p <= s.N; p++ {
-		pkt := core.Packet(t - s.depth(p) + 1)
+		pkt := core.Packet(int(t-s.depth(p)) + 1)
 		if pkt < 0 {
 			continue
 		}

@@ -1,0 +1,135 @@
+package check_test
+
+import (
+	"errors"
+	"testing"
+
+	"streamcast/internal/check"
+	"streamcast/internal/cluster"
+	"streamcast/internal/core"
+	"streamcast/internal/slotsim"
+)
+
+// TestCheckerEngineAgreement: for every corruption the static verifier
+// rejects, running the same corrupted scheme through the dynamic engine
+// aborts with a Violation of the same kind — the shared kind strings are a
+// real contract, not a naming coincidence.
+func TestCheckerEngineAgreement(t *testing.T) {
+	type agreeCase struct {
+		name   string
+		scheme core.Scheme
+		chkOpt check.Options
+		simOpt slotsim.Options
+		kind   string
+	}
+	var cases []agreeCase
+
+	// Double send: one sender scheduled twice in a slot.
+	{
+		_, s := mustMultiTree(t, 20, 3)
+		opt := check.MultiTreeOptions(s, 9)
+		at := opt.DelayBound + 3
+		cs := &corrupt{Scheme: s, txMod: func(t core.Slot, txs []core.Transmission) []core.Transmission {
+			if t != at {
+				return txs
+			}
+			for _, tx := range txs {
+				if tx.From != core.SourceID {
+					return append(txs, tx)
+				}
+			}
+			return txs
+		}}
+		cases = append(cases, agreeCase{
+			name: "double send", scheme: cs, chkOpt: opt,
+			simOpt: slotsim.Options{Slots: opt.Horizon, Packets: 9},
+			kind:   check.KindSendCap,
+		})
+	}
+
+	// Self transmission: an edge rewritten onto its own sender.
+	{
+		_, s := mustMultiTree(t, 13, 2)
+		opt := check.MultiTreeOptions(s, 6)
+		at := opt.DelayBound + 2
+		cs := &corrupt{Scheme: s, txMod: func(t core.Slot, txs []core.Transmission) []core.Transmission {
+			if t != at || len(txs) == 0 {
+				return txs
+			}
+			out := append([]core.Transmission(nil), txs...)
+			out[0].To = out[0].From
+			return out
+		}}
+		cases = append(cases, agreeCase{
+			name: "self transmission", scheme: cs, chkOpt: opt,
+			simOpt: slotsim.Options{Slots: opt.Horizon, Packets: 6},
+			kind:   check.KindSelf,
+		})
+	}
+
+	// Out-of-range receiver: an edge pointing outside the id space.
+	{
+		_, s := mustMultiTree(t, 13, 2)
+		opt := check.MultiTreeOptions(s, 6)
+		at := opt.DelayBound + 2
+		cs := &corrupt{Scheme: s, txMod: func(t core.Slot, txs []core.Transmission) []core.Transmission {
+			if t != at || len(txs) == 0 {
+				return txs
+			}
+			out := append([]core.Transmission(nil), txs...)
+			out[0].To = core.NodeID(s.NumReceivers() + 7)
+			return out
+		}}
+		cases = append(cases, agreeCase{
+			name: "node id out of range", scheme: cs, chkOpt: opt,
+			simOpt: slotsim.Options{Slots: opt.Horizon, Packets: 6},
+			kind:   check.KindRange,
+		})
+	}
+
+	// Tc-inconsistent backbone forward: a super node relaying a packet that
+	// is still in flight to it.
+	{
+		s, err := cluster.New(cluster.Config{
+			K: 9, D: 3, Tc: 5, ClusterSize: 10, Degree: 2, Intra: cluster.MultiTree,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := &corrupt{Scheme: s, txMod: func(t core.Slot, txs []core.Transmission) []core.Transmission {
+			if t != 0 {
+				return txs
+			}
+			return append(txs, core.Transmission{From: s.SuperID(0), To: s.SuperID(3), Packet: 0})
+		}}
+		cases = append(cases, agreeCase{
+			name: "early backbone send", scheme: cs,
+			chkOpt: check.ClusterOptions(s, 6, 60),
+			simOpt: s.Options(6, 60),
+			kind:   check.KindNotHeld,
+		})
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := check.Static(tc.scheme, tc.chkOpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.HasKind(tc.kind) {
+				t.Fatalf("static checker missed %q: %v", tc.kind, rep.Issues)
+			}
+			_, err = slotsim.Run(tc.scheme, tc.simOpt)
+			if err == nil {
+				t.Fatal("engine accepted a statically rejected scheme")
+			}
+			var v *slotsim.Violation
+			if !errors.As(err, &v) {
+				t.Fatalf("engine failed with a non-violation error: %v", err)
+			}
+			if v.Kind != tc.kind {
+				t.Errorf("engine violation %q, static checker predicted %q", v.Kind, tc.kind)
+			}
+		})
+	}
+}

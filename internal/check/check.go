@@ -1,0 +1,520 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"streamcast/internal/core"
+)
+
+// Issue kinds. The first block reuses the slotsim Violation kind strings so
+// static findings map one-to-one onto the violation class the engine would
+// raise for the same defect.
+const (
+	KindRange     = "node id out of range"
+	KindSelf      = "self transmission"
+	KindSendCap   = "send capacity exceeded"
+	KindNotHeld   = "sender does not hold packet"
+	KindRecvCap   = "receive capacity exceeded"
+	KindDuplicate = "duplicate packet"
+
+	KindBadLatency  = "latency below one slot"
+	KindInterior    = "interior-disjointness violated"
+	KindFanout      = "tree fanout exceeds degree"
+	KindDegree      = "neighbor bound exceeded"
+	KindMesh        = "scheduled edge missing from mesh"
+	KindDelayBound  = "delay bound exceeded"
+	KindBufferBound = "buffer bound exceeded"
+	KindIncomplete  = "incomplete delivery"
+)
+
+// Issue is one defect found by the static verifier.
+type Issue struct {
+	// Slot is the slot the defect manifests in (-1 for structural findings
+	// that are not tied to a slot).
+	Slot core.Slot
+	// Kind classifies the defect; schedule-level kinds match the slotsim
+	// Violation kinds.
+	Kind string
+	// Tx is the offending transmission for schedule-level findings.
+	Tx core.Transmission
+	// Detail pinpoints the defect (node, bound, measured value).
+	Detail string
+}
+
+// String renders the issue with its precise location.
+func (i Issue) String() string {
+	var b strings.Builder
+	if i.Slot >= 0 {
+		fmt.Fprintf(&b, "slot %d: ", i.Slot)
+	}
+	b.WriteString(i.Kind)
+	if (i.Tx != core.Transmission{}) {
+		fmt.Fprintf(&b, " (%s)", i.Tx)
+	}
+	if i.Detail != "" {
+		fmt.Fprintf(&b, ": %s", i.Detail)
+	}
+	return b.String()
+}
+
+// Options configures one static verification.
+type Options struct {
+	// Horizon is the number of slots to interpret.
+	Horizon core.Slot
+	// Packets is the measurement window for the delay/buffer/completeness
+	// cross-checks.
+	Packets core.Packet
+	// Mode is the data-availability assumption at the source.
+	Mode core.StreamMode
+	// SendCap overrides per-node send capacity (nil: SourceCapacity for the
+	// source, 1 otherwise).
+	SendCap func(id core.NodeID) int
+	// RecvCap overrides per-node receive capacity (nil: 1).
+	RecvCap func(id core.NodeID) int
+	// Latency overrides per-link latency in slots (nil: 1).
+	Latency func(from, to core.NodeID) core.Slot
+	// ExtraSources marks nodes that originate packets without receiving
+	// them (standalone sub-scheme checks).
+	ExtraSources map[core.NodeID]bool
+	// TreeDegree, when > 0, enables the multi-tree structural audit: packet
+	// j belongs to tree j mod TreeDegree, every non-source sender must
+	// relay a single residue class (interior-disjointness) and fan out to
+	// at most TreeDegree children within it.
+	TreeDegree int
+	// TreeExempt marks nodes excluded from the multi-tree audit:
+	// infrastructure relays (cluster super nodes, local roots) that
+	// legitimately forward every residue class.
+	TreeExempt map[core.NodeID]bool
+	// MaxNeighbors, when > 0, bounds every node's Neighbors() degree.
+	MaxNeighbors int
+	// CheckMesh requires every scheduled edge to appear in Neighbors().
+	CheckMesh bool
+	// DelayBound, when > 0, is the closed-form worst-case playback delay
+	// the measured schedule must not exceed.
+	DelayBound core.Slot
+	// BufferBound, when > 0, bounds the per-node peak buffer occupancy.
+	BufferBound int
+	// AllowIncomplete skips the completeness check (gossip-style schemes).
+	AllowIncomplete bool
+	// MaxIssues caps the number of recorded issues (0: 32). Counting stops
+	// early but the pass always finishes, so summary stats stay valid.
+	MaxIssues int
+}
+
+// Report is the outcome of one static verification.
+type Report struct {
+	// Scheme is the verified scheme's name.
+	Scheme string
+	// Issues holds the defects found, in discovery order, capped at
+	// Options.MaxIssues.
+	Issues []Issue
+	// Truncated is set when more issues were found than recorded.
+	Truncated bool
+	// WorstDelay is the schedule's worst playback start slot over the
+	// measurement window (receivers with complete windows only).
+	WorstDelay core.Slot
+	// WorstBuffer is the peak buffer occupancy over all receivers.
+	WorstBuffer int
+	// MaxNeighbors is the largest Neighbors() degree observed.
+	MaxNeighbors int
+}
+
+// OK reports whether the scheme passed every enabled check.
+func (r *Report) OK() bool { return len(r.Issues) == 0 }
+
+// Err summarizes a failed report as an error, nil when the report is clean.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	head := r.Issues[0].String()
+	if len(r.Issues) == 1 && !r.Truncated {
+		return fmt.Errorf("check: %s: %s", r.Scheme, head)
+	}
+	suffix := ""
+	if r.Truncated {
+		suffix = "+"
+	}
+	return fmt.Errorf("check: %s: %d%s issues, first: %s", r.Scheme, len(r.Issues), suffix, head)
+}
+
+// HasKind reports whether any recorded issue has the given kind.
+func (r *Report) HasKind(kind string) bool {
+	for _, i := range r.Issues {
+		if i.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// verifier is the working state of one Static run.
+type verifier struct {
+	scheme  core.Scheme
+	opt     Options
+	n       int
+	maxPkt  core.Packet
+	arrival [][]core.Slot
+	report  *Report
+	// residues[sender] is the set of packet residues mod TreeDegree the
+	// sender relays; children[sender][residue] its receiver set there.
+	residues map[core.NodeID]map[int]bool
+	children map[core.NodeID]map[int]map[core.NodeID]bool
+	// interiorReported suppresses repeat interior-overlap issues per node.
+	interiorReported map[core.NodeID]bool
+}
+
+const unset core.Slot = -1
+
+// Static verifies the scheme's schedule and mesh without running the
+// simulation engine. It returns an error only for unusable configuration;
+// scheme defects land in the report.
+func Static(s core.Scheme, opt Options) (*Report, error) {
+	if opt.Horizon <= 0 {
+		return nil, fmt.Errorf("check: Horizon must be > 0, got %d", opt.Horizon)
+	}
+	if opt.Packets <= 0 {
+		return nil, fmt.Errorf("check: Packets must be > 0, got %d", opt.Packets)
+	}
+	n := s.NumReceivers()
+	if n < 1 {
+		return nil, fmt.Errorf("check: scheme has %d receivers", n)
+	}
+	if opt.MaxIssues == 0 {
+		opt.MaxIssues = 32
+	}
+	srcCap := s.SourceCapacity()
+	if opt.SendCap == nil {
+		opt.SendCap = func(id core.NodeID) int {
+			if id == core.SourceID {
+				return srcCap
+			}
+			return 1
+		}
+	}
+	if opt.RecvCap == nil {
+		opt.RecvCap = func(core.NodeID) int { return 1 }
+	}
+	if opt.Latency == nil {
+		opt.Latency = func(core.NodeID, core.NodeID) core.Slot { return 1 }
+	}
+	maxPkt := core.Packet(int(opt.Horizon)*srcCap + srcCap)
+	if maxPkt < opt.Packets {
+		maxPkt = opt.Packets
+	}
+	v := &verifier{
+		scheme:           s,
+		opt:              opt,
+		n:                n,
+		maxPkt:           maxPkt,
+		arrival:          make([][]core.Slot, n+1),
+		report:           &Report{Scheme: s.Name()},
+		residues:         make(map[core.NodeID]map[int]bool),
+		children:         make(map[core.NodeID]map[int]map[core.NodeID]bool),
+		interiorReported: make(map[core.NodeID]bool),
+	}
+	for id := 0; id <= n; id++ {
+		row := make([]core.Slot, maxPkt)
+		for j := range row {
+			row[j] = unset
+		}
+		v.arrival[id] = row
+	}
+	v.interpret()
+	v.auditMesh()
+	v.crossCheck()
+	return v.report, nil
+}
+
+// issue records a finding, honoring the cap.
+func (v *verifier) issue(i Issue) {
+	if len(v.report.Issues) >= v.opt.MaxIssues {
+		v.report.Truncated = true
+		return
+	}
+	v.report.Issues = append(v.report.Issues, i)
+}
+
+// isSource reports whether the node originates packets.
+func (v *verifier) isSource(id core.NodeID) bool {
+	return id == core.SourceID || v.opt.ExtraSources[id]
+}
+
+// holds reports whether the node can transmit packet p during slot t,
+// mirroring the engine's availability rule.
+func (v *verifier) holds(id core.NodeID, p core.Packet, t core.Slot) bool {
+	if p < 0 {
+		return false
+	}
+	if v.isSource(id) {
+		if v.opt.Mode == core.Live {
+			return core.Slot(int(p)) <= t
+		}
+		return true
+	}
+	if p >= v.maxPkt {
+		return false
+	}
+	a := v.arrival[id][p]
+	return a != unset && a < t
+}
+
+// interpret relaxes arrival times over the schedule, checking the per-slot
+// model constraints along the way.
+func (v *verifier) interpret() {
+	inflight := make(map[core.Slot][]core.Transmission)
+	sent := make([]int, v.n+1)
+	received := make([]int, v.n+1)
+	for t := core.Slot(0); t < v.opt.Horizon; t++ {
+		for i := range sent {
+			sent[i] = 0
+		}
+		arrivals := inflight[t]
+		delete(inflight, t)
+		for _, tx := range v.scheme.Transmissions(t) {
+			if tx.From < 0 || int(tx.From) > v.n || tx.To < 0 || int(tx.To) > v.n {
+				v.issue(Issue{Slot: t, Kind: KindRange, Tx: tx})
+				continue
+			}
+			if tx.From == tx.To {
+				v.issue(Issue{Slot: t, Kind: KindSelf, Tx: tx})
+				continue
+			}
+			sent[tx.From]++
+			if over := sent[tx.From] - v.opt.SendCap(tx.From); over == 1 {
+				// Report the first excess send per node and slot.
+				v.issue(Issue{Slot: t, Kind: KindSendCap, Tx: tx,
+					Detail: fmt.Sprintf("node %d capacity %d", tx.From, v.opt.SendCap(tx.From))})
+			}
+			if !v.holds(tx.From, tx.Packet, t) {
+				v.issue(Issue{Slot: t, Kind: KindNotHeld, Tx: tx})
+				continue // an unavailable packet cannot propagate
+			}
+			v.observeTreeEdge(tx)
+			l := v.opt.Latency(tx.From, tx.To)
+			if l < 1 {
+				v.issue(Issue{Slot: t, Kind: KindBadLatency, Tx: tx,
+					Detail: fmt.Sprintf("Latency(%d, %d) = %d", tx.From, tx.To, l)})
+				continue
+			}
+			if l == 1 {
+				arrivals = append(arrivals, tx)
+			} else {
+				inflight[t+l-1] = append(inflight[t+l-1], tx)
+			}
+		}
+		for i := range received {
+			received[i] = 0
+		}
+		for _, tx := range arrivals {
+			received[tx.To]++
+			if over := received[tx.To] - v.opt.RecvCap(tx.To); over == 1 {
+				v.issue(Issue{Slot: t, Kind: KindRecvCap, Tx: tx,
+					Detail: fmt.Sprintf("node %d capacity %d", tx.To, v.opt.RecvCap(tx.To))})
+			}
+			if v.isSource(tx.To) || tx.Packet >= v.maxPkt {
+				continue
+			}
+			if v.arrival[tx.To][tx.Packet] != unset {
+				v.issue(Issue{Slot: t, Kind: KindDuplicate, Tx: tx,
+					Detail: fmt.Sprintf("first arrived at slot %d", v.arrival[tx.To][tx.Packet])})
+				continue
+			}
+			v.arrival[tx.To][tx.Packet] = t
+		}
+	}
+}
+
+// observeTreeEdge accumulates the multi-tree structural evidence of one
+// relayed transmission and reports interior overlap as soon as a sender
+// crosses residue classes.
+func (v *verifier) observeTreeEdge(tx core.Transmission) {
+	d := v.opt.TreeDegree
+	if d <= 0 || v.isSource(tx.From) || v.opt.TreeExempt[tx.From] {
+		return
+	}
+	r := int(tx.Packet) % d
+	set := v.residues[tx.From]
+	if set == nil {
+		set = make(map[int]bool)
+		v.residues[tx.From] = set
+	}
+	set[r] = true
+	if len(set) > 1 && !v.interiorReported[tx.From] {
+		v.interiorReported[tx.From] = true
+		v.issue(Issue{Slot: -1, Kind: KindInterior,
+			Detail: fmt.Sprintf("node %d relays packets of trees %s; a receiver may be interior in at most one of the %d trees",
+				tx.From, residueList(set), d)})
+	}
+	byRes := v.children[tx.From]
+	if byRes == nil {
+		byRes = make(map[int]map[core.NodeID]bool)
+		v.children[tx.From] = byRes
+	}
+	kids := byRes[r]
+	if kids == nil {
+		kids = make(map[core.NodeID]bool)
+		byRes[r] = kids
+	}
+	if !kids[tx.To] {
+		kids[tx.To] = true
+		if len(kids) == d+1 {
+			v.issue(Issue{Slot: -1, Kind: KindFanout,
+				Detail: fmt.Sprintf("node %d feeds %d distinct children in tree %d; a %d-ary tree allows %d",
+					tx.From, len(kids), r, d, d)})
+		}
+	}
+}
+
+// residueList renders a residue set deterministically.
+func residueList(set map[int]bool) string {
+	rs := make([]int, 0, len(set))
+	for r := range set {
+		rs = append(rs, r)
+	}
+	sort.Ints(rs)
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = fmt.Sprintf("%d", r)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// auditMesh checks neighbor degrees and mesh/schedule consistency.
+func (v *verifier) auditMesh() {
+	if v.opt.MaxNeighbors <= 0 && !v.opt.CheckMesh {
+		return
+	}
+	nb := v.scheme.Neighbors()
+	sets := make(map[core.NodeID]map[core.NodeID]bool, len(nb))
+	ids := make([]core.NodeID, 0, len(nb))
+	for id := range nb {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		list := nb[id]
+		if len(list) > v.report.MaxNeighbors {
+			v.report.MaxNeighbors = len(list)
+		}
+		if v.opt.MaxNeighbors > 0 && len(list) > v.opt.MaxNeighbors {
+			v.issue(Issue{Slot: -1, Kind: KindDegree,
+				Detail: fmt.Sprintf("node %d has %d protocol neighbors, bound is %d",
+					id, len(list), v.opt.MaxNeighbors)})
+		}
+		set := make(map[core.NodeID]bool, len(list))
+		for _, o := range list {
+			set[o] = true
+		}
+		sets[id] = set
+	}
+	if !v.opt.CheckMesh {
+		return
+	}
+	// Every edge the sender-side audit accepted must be a mesh edge; a
+	// schedule talking to a non-neighbor breaks the 2d protocol-state bound
+	// the paper argues for.
+	reported := make(map[[2]core.NodeID]bool)
+	for t := core.Slot(0); t < v.opt.Horizon; t++ {
+		for _, tx := range v.scheme.Transmissions(t) {
+			if tx.From < 0 || int(tx.From) > v.n || tx.To < 0 || int(tx.To) > v.n || tx.From == tx.To {
+				continue // already reported by interpret
+			}
+			key := [2]core.NodeID{tx.From, tx.To}
+			if reported[key] {
+				continue
+			}
+			for _, end := range []core.NodeID{tx.From, tx.To} {
+				set, tracked := sets[end]
+				if !tracked {
+					continue // source side: schemes do not list the source
+				}
+				other := tx.From + tx.To - end
+				if !set[other] {
+					reported[key] = true
+					v.issue(Issue{Slot: t, Kind: KindMesh, Tx: tx,
+						Detail: fmt.Sprintf("node %d does not list %d in Neighbors()", end, other)})
+					break
+				}
+			}
+		}
+	}
+}
+
+// crossCheck derives worst-case delay and buffer from the relaxed arrival
+// times and compares them against the closed-form bounds.
+func (v *verifier) crossCheck() {
+	for id := core.NodeID(1); int(id) <= v.n; id++ {
+		if v.isSource(id) {
+			continue
+		}
+		row := v.arrival[id][:v.opt.Packets]
+		var worst core.Slot = -1 << 30
+		complete := true
+		for j, a := range row {
+			if a == unset {
+				complete = false
+				if !v.opt.AllowIncomplete {
+					v.issue(Issue{Slot: -1, Kind: KindIncomplete,
+						Detail: fmt.Sprintf("node %d never receives packet %d within %d slots", id, j, v.opt.Horizon)})
+				}
+				continue
+			}
+			if lag := a - core.Slot(j); lag > worst {
+				worst = lag
+			}
+		}
+		if !complete {
+			continue
+		}
+		if worst > v.report.WorstDelay {
+			v.report.WorstDelay = worst
+		}
+		if b := peakBuffer(row, worst); b > v.report.WorstBuffer {
+			v.report.WorstBuffer = b
+		}
+	}
+	if v.opt.DelayBound > 0 && v.report.WorstDelay > v.opt.DelayBound {
+		v.issue(Issue{Slot: -1, Kind: KindDelayBound,
+			Detail: fmt.Sprintf("schedule worst-case playback delay %d exceeds closed-form bound %d",
+				v.report.WorstDelay, v.opt.DelayBound)})
+	}
+	if v.opt.BufferBound > 0 && v.report.WorstBuffer > v.opt.BufferBound {
+		v.issue(Issue{Slot: -1, Kind: KindBufferBound,
+			Detail: fmt.Sprintf("peak buffer occupancy %d packets exceeds bound %d",
+				v.report.WorstBuffer, v.opt.BufferBound)})
+	}
+}
+
+// peakBuffer mirrors the engine's buffer accounting: packet j occupies the
+// buffer from the end of its arrival slot through the end of slot start+j.
+func peakBuffer(arrival []core.Slot, start core.Slot) int {
+	arrCount := make(map[core.Slot]int, len(arrival))
+	var lastSlot core.Slot
+	for _, a := range arrival {
+		if a == unset {
+			continue
+		}
+		arrCount[a]++
+		if a > lastSlot {
+			lastSlot = a
+		}
+	}
+	peak, have := 0, 0
+	for t := core.Slot(0); t <= lastSlot; t++ {
+		have += arrCount[t]
+		played := int(t - start)
+		if played < 0 {
+			played = 0
+		}
+		if played > len(arrival) {
+			played = len(arrival)
+		}
+		if occ := have - played; occ > peak {
+			peak = occ
+		}
+	}
+	return peak
+}

@@ -190,6 +190,16 @@ func (s *Scheme) base(i int) core.NodeID {
 	return s.bases[i]
 }
 
+// Config returns the configuration the scheme was built from.
+func (s *Scheme) Config() Config { return s.cfg }
+
+// Sizes returns the per-cluster receiver counts (a copy).
+func (s *Scheme) Sizes() []int {
+	out := make([]int, len(s.sizes))
+	copy(out, s.sizes)
+	return out
+}
+
 // SuperID returns the global id of S_i.
 func (s *Scheme) SuperID(i int) core.NodeID { return s.base(i) }
 
@@ -259,13 +269,13 @@ func (s *Scheme) Transmissions(t core.Slot) []core.Transmission {
 	// Backbone: S sends packet t to its root-level children every slot.
 	for i := 0; i < s.cfg.K && i < s.cfg.D; i++ {
 		out = append(out, core.Transmission{
-			From: core.SourceID, To: s.SuperID(i), Packet: core.Packet(t),
+			From: core.SourceID, To: s.SuperID(i), Packet: core.Packet(int(t)),
 		})
 	}
 	for i := 0; i < s.cfg.K; i++ {
 		// S_i holds packet p from the end of slot p + depth·Tc − 1 and
 		// forwards it the next slot: to backbone children and to S'_i.
-		p := core.Packet(t - core.Slot(s.depth[i])*s.cfg.Tc)
+		p := core.Packet(int(t - core.Slot(s.depth[i])*s.cfg.Tc))
 		if p >= 0 {
 			for c := s.cfg.D + i*(s.cfg.D-1); c < s.cfg.D+(i+1)*(s.cfg.D-1) && c < s.cfg.K; c++ {
 				out = append(out, core.Transmission{
@@ -350,7 +360,7 @@ func (s *Scheme) Neighbors() map[core.NodeID][]core.NodeID {
 func (s *Scheme) Options(packets core.Packet, extraSlots core.Slot) slotsim.Options {
 	maxShift := s.shift[s.cfg.K-1]
 	return slotsim.Options{
-		Slots:   maxShift + core.Slot(packets) + extraSlots,
+		Slots:   maxShift + core.Slot(int(packets)) + extraSlots,
 		Packets: packets,
 		Mode:    core.Live,
 		SendCap: s.SendCap,

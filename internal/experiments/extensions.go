@@ -87,7 +87,7 @@ func StructuredVsUnstructured(ns []int, d int) (*Table, error) {
 		}
 		win := core.Packet(3 * d)
 		horizon := core.Slot(12*n/d + 100)
-		gres, err := simulate(g, win, horizon-core.Slot(win), slotsim.Options{
+		gres, err := simulate(g, win, horizon-core.Slot(int(win)), slotsim.Options{
 			Mode:            core.Live,
 			AllowIncomplete: true,
 		})
@@ -125,7 +125,7 @@ func MidStreamSwaps(n, d int) (*Table, error) {
 	}
 	base := multitree.NewScheme(m, core.PreRecorded)
 	packets := core.Packet(12 * d)
-	slots := core.Slot(m.Height()*d) + core.Slot(packets) + 24
+	slots := core.Slot(m.Height()*d) + core.Slot(int(packets)) + 24
 	swapSlot := core.Slot(m.Height()*d + 7)
 
 	// Two real all-leaf members (leaves in every tree): scan the tail of

@@ -22,7 +22,7 @@ func SetReportSink(fn func(*obs.RunReport)) { reportSink = fn }
 // metrics observer when a report sink is installed.
 func simulate(s core.Scheme, packets core.Packet, extraSlots core.Slot, opt slotsim.Options) (*slotsim.Result, error) {
 	opt.Packets = packets
-	opt.Slots = core.Slot(packets) + extraSlots
+	opt.Slots = core.Slot(int(packets)) + extraSlots
 	if reportSink == nil {
 		return slotsim.Run(s, opt)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"streamcast/internal/analysis"
 	"streamcast/internal/baseline"
+	"streamcast/internal/check"
 	"streamcast/internal/cluster"
 	"streamcast/internal/core"
 	"streamcast/internal/hypercube"
@@ -13,14 +14,28 @@ import (
 	"streamcast/internal/slotsim"
 )
 
-// multitreeResult builds and simulates a multi-tree scheme, returning the
-// engine result.
+// verified runs the static schedule/mesh verifier before a scheme is
+// simulated, so every experiment row is backed by a construction that
+// provably satisfies the paper's structural invariants and bounds.
+func verified(s core.Scheme, opt check.Options) error {
+	rep, err := check.Static(s, opt)
+	if err != nil {
+		return err
+	}
+	return rep.Err()
+}
+
+// multitreeResult builds, statically verifies, and simulates a multi-tree
+// scheme, returning the engine result.
 func multitreeResult(n, d int, c multitree.Construction, mode core.StreamMode) (*multitree.Scheme, *slotsim.Result, error) {
 	m, err := multitree.New(n, d, c)
 	if err != nil {
 		return nil, nil, err
 	}
 	s := multitree.NewScheme(m, mode)
+	if err := verified(s, check.MultiTreeOptions(s, core.Packet(3*d))); err != nil {
+		return nil, nil, err
+	}
 	res, err := simulate(s, core.Packet(3*d), core.Slot(m.Height()*d+4*d+2), slotsim.Options{Mode: mode})
 	if err != nil {
 		return nil, nil, err
@@ -28,10 +43,14 @@ func multitreeResult(n, d int, c multitree.Construction, mode core.StreamMode) (
 	return s, res, nil
 }
 
-// hypercubeResult builds and simulates a hypercube scheme.
+// hypercubeResult builds, statically verifies, and simulates a hypercube
+// scheme.
 func hypercubeResult(n, d int) (*hypercube.Scheme, *slotsim.Result, error) {
 	s, err := hypercube.New(n, d)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := verified(s, check.HypercubeOptions(s, 8)); err != nil {
 		return nil, nil, err
 	}
 	lg := 1
@@ -158,6 +177,9 @@ func ClusterExperiment(k, dd, d, clusterSize int, tcs []int) (*Table, error) {
 			Degree: d, Intra: cluster.MultiTree, Construction: multitree.Greedy,
 		})
 		if err != nil {
+			return nil, err
+		}
+		if err := verified(s, check.ClusterOptions(s, core.Packet(3*d), core.Slot(h*d+6*d))); err != nil {
 			return nil, err
 		}
 		_, worst, avg, err := s.Run(core.Packet(3*d), core.Slot(h*d+6*d))

@@ -194,7 +194,7 @@ func (s *Scheme) choose(puller, target core.NodeID, t core.Slot) (core.Packet, b
 	var useful []core.Packet
 	if target == core.SourceID {
 		// The source holds packets 0..t (live); scan the puller's gaps.
-		for p := core.Packet(0); p <= core.Packet(t); p++ {
+		for p := core.Packet(0); p <= core.Packet(int(t)); p++ {
 			if !s.holds(puller, p) {
 				useful = append(useful, p)
 			}

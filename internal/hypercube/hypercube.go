@@ -172,7 +172,7 @@ func (s *Scheme) Transmissions(t core.Slot) []core.Transmission {
 			out = append(out, core.Transmission{
 				From:   injector,
 				To:     c.id(1 << c.dim(tau)),
-				Packet: core.Packet(tau),
+				Packet: core.Packet(int(tau)),
 			})
 			out = appendSpreads(out, c, tau)
 		}
@@ -211,7 +211,7 @@ func appendSpreads(out []core.Transmission, c cubeSpec, tau core.Slot) []core.Tr
 			out = append(out, core.Transmission{
 				From:   c.id(v),
 				To:     c.id(v ^ cur),
-				Packet: core.Packet(j),
+				Packet: core.Packet(int(j)),
 			})
 		}
 	}

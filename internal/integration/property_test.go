@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"streamcast/internal/analysis"
+	"streamcast/internal/check"
 	"streamcast/internal/core"
 	"streamcast/internal/hypercube"
 	"streamcast/internal/multitree"
@@ -30,6 +31,17 @@ func TestQuickMultitreeSchedule(t *testing.T) {
 			return false
 		}
 		s := multitree.NewScheme(m, mode)
+		// The static verifier must agree with the engine on every sampled
+		// configuration: structural invariants, capacities, and bounds.
+		rep, err := check.Static(s, check.MultiTreeOptions(s, core.Packet(3*d)))
+		if err != nil {
+			t.Logf("N=%d d=%d %s %s: static check: %v", n, d, c, mode, err)
+			return false
+		}
+		if !rep.OK() {
+			t.Logf("N=%d d=%d %s %s: %v", n, d, c, mode, rep.Err())
+			return false
+		}
 		res, err := slotsim.Run(s, slotsim.Options{
 			Slots:   core.Slot(m.Height()*d + 5*d + 4),
 			Packets: core.Packet(3 * d),
@@ -56,6 +68,15 @@ func TestQuickHypercubeSchedule(t *testing.T) {
 		d := int(dRaw)%4 + 1
 		s, err := hypercube.New(n, d)
 		if err != nil {
+			return false
+		}
+		rep, err := check.Static(s, check.HypercubeOptions(s, 8))
+		if err != nil {
+			t.Logf("N=%d d=%d: static check: %v", n, d, err)
+			return false
+		}
+		if !rep.OK() {
+			t.Logf("N=%d d=%d: %v", n, d, rep.Err())
 			return false
 		}
 		lg := 1

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CheckedErr forbids silently discarded error returns in non-test internal
+// code: a call statement (plain, go, or defer) whose callee returns an error
+// must assign or check it.
+//
+// Two documented escape hatches keep the signal high:
+//   - fmt.Print*/Fprint* — formatted output in this repo goes to stdout,
+//     strings.Builder or tabwriters whose failures surface elsewhere;
+//   - methods of strings.Builder and bytes.Buffer, which are documented to
+//     never return a non-nil error.
+//
+// Anything else (Close, Flush, encoders, ...) either handles the error or
+// carries a //lint:ignore checkederr comment saying why not.
+var CheckedErr = &Analyzer{
+	Name: "checkederr",
+	Doc: "forbid discarded error returns in non-test internal code " +
+		"(fmt print helpers and Builder/Buffer writes excepted)",
+	Run: runCheckedErr,
+}
+
+func runCheckedErr(pass *Pass) {
+	if !internalPackage(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = s.Call
+			case *ast.DeferStmt:
+				call = s.Call
+			}
+			if call == nil {
+				return true
+			}
+			if !returnsError(pass, call) || errAllowlisted(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"result of %s contains an error that is discarded; handle it or annotate with //lint:ignore checkederr <reason>",
+				calleeName(call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's result type is error or a tuple
+// with an error element.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// errAllowlisted applies the documented exceptions.
+func errAllowlisted(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Recv() == nil {
+		return fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+			(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint"))
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+// calleeName renders the called expression for the diagnostic.
+func calleeName(call *ast.CallExpr) string {
+	return types.ExprString(call.Fun)
+}

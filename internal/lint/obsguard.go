@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// observerHooks are the obs.Observer interface methods the engines invoke on
+// the hot path.
+var observerHooks = map[string]bool{
+	"SlotStart": true,
+	"Transmit":  true,
+	"Deliver":   true,
+	"Drop":      true,
+	"Violation": true,
+	"SlotEnd":   true,
+}
+
+// ObsGuard requires every call of an obs.Observer interface method outside
+// internal/obs to sit under an explicit `recv != nil` guard on the same
+// receiver expression. The engines' benchmarked zero-overhead fast path is
+// exactly one pointer check per event site; an unguarded call either panics
+// on a nil observer or silently re-introduces interface-call overhead on a
+// path that was supposed to skip it.
+var ObsGuard = &Analyzer{
+	Name: "obsguard",
+	Doc: "observer hook calls outside internal/obs must be guarded by an " +
+		"explicit `!= nil` check on the same receiver expression",
+	Run: runObsGuard,
+}
+
+func runObsGuard(pass *Pass) {
+	if pathHasPrefix(pass.Path, "streamcast/internal/obs") {
+		return // the observer package itself fans out calls freely
+	}
+	for _, f := range pass.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !observerHooks[sel.Sel.Name] {
+				return true
+			}
+			if !isObserverInterface(pass.TypeOf(sel.X)) {
+				return true
+			}
+			if !nilGuarded(sel.X, call, stack) {
+				pass.Reportf(call.Pos(),
+					"%s.%s called without a `%s != nil` guard; the nil-observer fast path must stay a single pointer check",
+					types.ExprString(sel.X), sel.Sel.Name, types.ExprString(sel.X))
+			}
+			return true
+		})
+	}
+}
+
+// isObserverInterface reports whether t is the named interface type
+// streamcast/internal/obs.Observer. Calls on concrete implementations are
+// fine — only interface dispatch sites can be nil.
+func isObserverInterface(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if _, isIface := named.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Observer" && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "streamcast/internal/obs"
+}
+
+// nilGuarded reports whether the call appears inside an if (or else-if)
+// whose condition includes `recv != nil` for the same receiver expression.
+func nilGuarded(recv ast.Expr, call *ast.CallExpr, stack []ast.Node) bool {
+	want := types.ExprString(recv)
+	// Find the child along the stack path so we can tell an if's body from
+	// its condition or else branch.
+	var child ast.Node = call
+	for i := len(stack) - 1; i >= 0; i-- {
+		if ifStmt, ok := stack[i].(*ast.IfStmt); ok && ifStmt.Body == child {
+			if condChecksNotNil(ifStmt.Cond, want) {
+				return true
+			}
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// condChecksNotNil reports whether the condition (possibly under &&)
+// contains `expr != nil` for the given receiver rendering.
+func condChecksNotNil(cond ast.Expr, want string) bool {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return condChecksNotNil(c.X, want)
+	case *ast.BinaryExpr:
+		if c.Op == token.LAND {
+			return condChecksNotNil(c.X, want) || condChecksNotNil(c.Y, want)
+		}
+		if c.Op != token.NEQ {
+			return false
+		}
+		x, y := types.ExprString(c.X), types.ExprString(c.Y)
+		return (x == want && y == "nil") || (y == want && x == "nil")
+	}
+	return false
+}

@@ -1,0 +1,32 @@
+package lint
+
+import "testing"
+
+// TestRepositoryIsClean runs every analyzer over the whole module — the
+// in-process form of `make lint`. The repository must stay diagnostic-free;
+// a justified exception belongs next to the finding as a
+// //lint:ignore comment, not here.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module load in -short mode")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; module discovery is broken", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.Path, terr)
+		}
+	}
+	for _, d := range RunAnalyzers(pkgs, All()) {
+		t.Errorf("%s", d)
+	}
+}

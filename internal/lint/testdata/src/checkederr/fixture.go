@@ -1,0 +1,42 @@
+// Package fixture exercises the checkederr analyzer: statement calls that
+// discard error results are hits; handled errors, the fmt print helpers, and
+// never-failing Builder/Buffer writes are not.
+package fixture
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Discards drops errors on the floor in every statement form.
+func Discards(f *os.File, v interface{}) {
+	json.Marshal(v)      // want `result of json\.Marshal contains an error that is discarded`
+	f.Close()            // want `result of f\.Close contains an error that is discarded`
+	defer f.Sync()       // want `result of f\.Sync contains an error that is discarded`
+	go f.Truncate(0)     // want `result of f\.Truncate contains an error that is discarded`
+}
+
+// Handled checks or assigns every error.
+func Handled(f *os.File, v interface{}) error {
+	if _, err := json.Marshal(v); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Allowlisted uses the documented exceptions.
+func Allowlisted(v interface{}) string {
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Println(v)
+	fmt.Fprintf(&b, "%v", v)
+	return b.String()
+}
+
+// Suppressed documents a deliberate discard in place.
+func Suppressed(f *os.File) {
+	//lint:ignore checkederr fixture demonstrates suppression
+	f.Close()
+}

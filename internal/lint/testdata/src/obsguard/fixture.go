@@ -1,0 +1,46 @@
+// Package fixture exercises the obsguard analyzer: obs.Observer interface
+// hooks must be called under a `!= nil` guard on the same receiver.
+package fixture
+
+import (
+	"streamcast/internal/core"
+	"streamcast/internal/obs"
+)
+
+type engine struct {
+	obs   obs.Observer
+	other obs.Observer
+}
+
+// Unguarded calls hooks straight through the interface — a nil observer
+// panics and a non-nil one loses the fast-path skip.
+func (e *engine) Unguarded(t core.Slot, tx core.Transmission) {
+	e.obs.SlotStart(t, 1) // want `e\.obs\.SlotStart called without a .e\.obs != nil. guard`
+	e.obs.Transmit(t, tx) // want `e\.obs\.Transmit called without a .e\.obs != nil. guard`
+}
+
+// Guarded is the engine's fast-path pattern.
+func (e *engine) Guarded(t core.Slot, tx core.Transmission) {
+	if e.obs != nil {
+		e.obs.SlotStart(t, 1)
+		e.obs.Deliver(t, tx, false)
+	}
+	if t > 0 && e.obs != nil {
+		e.obs.SlotEnd(t)
+	}
+}
+
+// WrongGuard checks a different receiver than it calls.
+func (e *engine) WrongGuard(t core.Slot) {
+	if e.other != nil {
+		e.obs.SlotEnd(t) // want `e\.obs\.SlotEnd called without a .e\.obs != nil. guard`
+	}
+}
+
+// Concrete calls hooks on a concrete implementation, which cannot be a
+// typed-nil interface — allowed.
+func Concrete(t core.Slot) {
+	var rec obs.Recorder
+	rec.SlotStart(t, 0)
+	rec.SlotEnd(t)
+}

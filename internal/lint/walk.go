@@ -1,0 +1,34 @@
+package lint
+
+import "go/ast"
+
+// inspectWithStack walks every node of the file pre-order, passing the chain
+// of enclosing nodes (outermost first, not including n itself). Returning
+// false from fn prunes the subtree.
+func inspectWithStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// internalPackage reports whether the import path is module-internal code
+// the repo-specific invariants apply to. Synthetic fixture paths used by the
+// analyzer tests also satisfy this predicate.
+func internalPackage(path string) bool {
+	return pathHasPrefix(path, "streamcast/internal")
+}
+
+// pathHasPrefix reports whether path is prefix itself or a sub-path of it.
+func pathHasPrefix(path, prefix string) bool {
+	return path == prefix || (len(path) > len(prefix) &&
+		path[:len(prefix)] == prefix && path[len(prefix)] == '/')
+}

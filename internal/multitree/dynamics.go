@@ -170,7 +170,10 @@ func (dy *Dynamic) Add(name string) (OpStats, error) {
 	// Revive a dummy member — when dummies already existed (including the
 	// deferred-shrink state) this costs zero swaps, exactly the lazy
 	// saving the paper describes.
-	mem := dy.pickDummy()
+	mem, err := dy.pickDummy()
+	if err != nil {
+		return OpStats{}, err
+	}
 	dy.pendingShrink = false
 	dy.real[mem] = true
 	dy.names[mem] = name
@@ -183,15 +186,17 @@ func (dy *Dynamic) Add(name string) (OpStats, error) {
 	}, nil
 }
 
-// pickDummy returns the dummy member with the smallest tree-0 position.
-func (dy *Dynamic) pickDummy() int {
+// pickDummy returns the dummy member with the smallest tree-0 position. An
+// error means the phase invariant is broken: after the grow step every
+// family has at least one dummy slot.
+func (dy *Dynamic) pickDummy() (int, error) {
 	for p := 1; p <= dy.np; p++ {
 		mem := dy.trees[0][p-1]
 		if !dy.real[mem] {
-			return mem
+			return mem, nil
 		}
 	}
-	panic("multitree: no dummy available")
+	return 0, fmt.Errorf("multitree: no dummy available (np=%d, n=%d): family state is corrupt", dy.np, dy.n)
 }
 
 // grow adds one level: the first leaf position p* = I+1 becomes interior in
@@ -263,7 +268,10 @@ func (dy *Dynamic) Delete(name string) (OpStats, error) {
 	// Step 1 (find replacement): swap the departing member with the last
 	// real all-leaf node of tree 0, unless it is itself all-leaf.
 	if !dy.isAllLeaf(mem) {
-		x := dy.lastRealTailMember()
+		x, err := dy.lastRealTailMember()
+		if err != nil {
+			return OpStats{}, err
+		}
 		for k := 0; k < dy.d; k++ {
 			dy.swapInTree(k, dy.pos[k][mem], dy.pos[k][x])
 		}
@@ -294,15 +302,17 @@ func (dy *Dynamic) Delete(name string) (OpStats, error) {
 }
 
 // lastRealTailMember returns the real all-leaf member with the largest
-// tree-0 position.
-func (dy *Dynamic) lastRealTailMember() int {
+// tree-0 position. An error means the phase invariant is broken: an
+// all-dummy tail triggers the shrink step before any caller needs a
+// replacement from it.
+func (dy *Dynamic) lastRealTailMember() (int, error) {
 	for p := dy.np; p > dy.np-dy.d; p-- {
 		mem := dy.trees[0][p-1]
 		if dy.real[mem] {
-			return mem
+			return mem, nil
 		}
 	}
-	panic("multitree: no real all-leaf member")
+	return 0, fmt.Errorf("multitree: no real all-leaf member in the tree-0 tail (np=%d, n=%d): family state is corrupt", dy.np, dy.n)
 }
 
 // shrink drops the last level: the d parents of the (all-dummy) tail become

@@ -124,7 +124,7 @@ func (s *Scheme) Transmissions(t core.Slot) []core.Transmission {
 				continue
 			}
 			round := (t - first) / d
-			pkt := core.Packet(k) + core.Packet(round)*core.Packet(m.D)
+			pkt := core.Packet(k) + core.Packet(int(round))*core.Packet(m.D)
 			var from core.NodeID = core.SourceID
 			if pp := ParentPos(p, m.D); pp > 0 {
 				from = m.Trees[k][pp-1]

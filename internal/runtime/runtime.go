@@ -112,6 +112,7 @@ func Execute(s core.Scheme, opt Options) (*Result, error) {
 	if tr == nil {
 		tr = NewChanTransport(n, opt.RecvCap+4)
 	}
+	//lint:ignore checkederr teardown of a run that already has a result; a close failure has no caller to surface to
 	defer tr.Close()
 
 	nodes := make([]*node, n+1)
@@ -169,7 +170,7 @@ func Execute(s core.Scheme, opt Options) (*Result, error) {
 		}
 		// Source sends (in the coordinator: the source is not an actor).
 		for _, tx := range bySender[core.SourceID] {
-			if opt.Mode == core.Live && core.Slot(tx.Packet) > t {
+			if opt.Mode == core.Live && core.Slot(int(tx.Packet)) > t {
 				reportErr(fmt.Errorf("runtime: live source asked for future packet %d at slot %d", tx.Packet, t))
 				continue
 			}
@@ -269,7 +270,7 @@ func (nd *node) doReceive(t core.Slot, tr Transport, opt Options, fail func(erro
 	}
 	if nd.started {
 		due := nd.next
-		if core.Packet(t-nd.start) == due {
+		if core.Packet(int(t-nd.start)) == due {
 			if _, ok := nd.store[due]; ok {
 				nd.next++
 				nd.played++

@@ -218,10 +218,13 @@ func (t *pipeTransport) Drain(to core.NodeID) ([][]byte, error) {
 func (t *pipeTransport) Close() error {
 	t.mu.Lock()
 	t.closed = true
+	var firstErr error
 	for _, c := range t.conns {
-		c.Close()
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	t.mu.Unlock()
 	t.wg.Wait()
-	return nil
+	return firstErr
 }

@@ -270,7 +270,7 @@ func (e *engine) holds(id core.NodeID, p core.Packet, t core.Slot) bool {
 	}
 	if e.isSource(id) {
 		if e.opt.Mode == core.Live {
-			return core.Slot(p) <= t
+			return core.Slot(int(p)) <= t
 		}
 		return true
 	}

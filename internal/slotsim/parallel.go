@@ -183,7 +183,7 @@ func (p *parallelDriver) deliverParallel(t core.Slot, arrivals []core.Transmissi
 		}(w)
 	}
 	wg.Wait()
-	if shards != nil {
+	if p.obs != nil {
 		// Barrier merge: sort the per-worker shards back into arrival
 		// order and replay them to the observer, truncated at the first
 		// violation — the exact prefix the sequential engine emits.

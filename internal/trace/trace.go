@@ -176,7 +176,7 @@ func HypercubeBufferTrace(k int, firstSlot, lastSlot core.Slot) (string, error) 
 	if err != nil {
 		return "", err
 	}
-	packets := core.Packet(lastSlot + 2)
+	packets := core.Packet(int(lastSlot) + 2)
 	res, err := slotsim.Run(s, slotsim.Options{
 		Slots:   lastSlot + core.Slot(2*k) + 4,
 		Packets: packets,
@@ -211,7 +211,7 @@ func HypercubeBufferTrace(k int, firstSlot, lastSlot core.Slot) (string, error) 
 			}
 			// Consumption: packet j plays at slot StartDelay+j.
 			j := t - res.StartDelay[id]
-			if j >= 0 && core.Packet(j) < packets {
+			if j >= 0 && core.Packet(int(j)) < packets {
 				line += fmt.Sprintf(" consume p%d", j)
 			}
 			b.WriteString(line)
