@@ -1,10 +1,11 @@
 # Streamcast build/test entry points. Tier-1 verification (ROADMAP.md) is
 # `make ci`: build + vet + streamvet lint + full test suite, plus the race
-# pass over the engine and observability packages.
+# pass over the engine and observability packages and a short fuzz smoke of
+# the fault-plan parser.
 
 GO ?= go
 
-.PHONY: build test race vet lint bench ci clean
+.PHONY: build test race vet lint bench fuzz chaos ci clean
 
 build:
 	$(GO) build ./...
@@ -12,10 +13,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race pass over the packages with real concurrency: the parallel engine
-# and the observer event merging layered on it.
+# Race pass over the packages with real concurrency: the parallel engine,
+# the observer event merging layered on it, and the fault-injection suite
+# (whose parity tests drive both engines and the concurrent runtime).
 race:
-	$(GO) test -race ./internal/slotsim/... ./internal/obs/... ./internal/runtime/... ./internal/integration/...
+	$(GO) test -race ./internal/slotsim/... ./internal/obs/... ./internal/runtime/... ./internal/integration/... ./internal/faults/...
 
 vet:
 	$(GO) vet ./...
@@ -30,7 +32,18 @@ lint:
 bench:
 	$(GO) test -bench . -benchtime 1x -run XXX .
 
-ci: build vet lint test race
+# Short fuzz smoke over the fault-plan parser (FAULTS.md). CI keeps this
+# brief; crank -fuzztime for a real session.
+fuzz:
+	$(GO) test -fuzz '^FuzzFaultPlan$$' -fuzztime 5s -run '^$$' ./internal/faults
+
+# Replay the pinned fault corpus (internal/faults/testdata/corpus) and fail
+# on any fingerprint drift. Refresh intentionally with:
+#   go test ./internal/faults -run TestChaosCorpus -update
+chaos:
+	$(GO) test ./internal/faults -run 'TestChaosCorpus|TestCorpusPlansRoundTrip' -count=1 -v
+
+ci: build vet lint test race fuzz chaos
 
 clean:
 	$(GO) clean ./...

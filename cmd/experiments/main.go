@@ -43,6 +43,7 @@ func main() {
 	degNs := []int{10, 30, 100, 300, 1000, 3000, 10000}
 	baseNs := []int{50, 200, 1000}
 	churnOps := 2000
+	faultsN := 60
 	if *quick {
 		fig4Max, fig4Step = 400, 100
 		table1Ns = []int{15, 63}
@@ -51,6 +52,7 @@ func main() {
 		degNs = []int{10, 100, 1000}
 		baseNs = []int{50}
 		churnOps = 300
+		faultsN = 24
 	}
 
 	all := []runner{
@@ -98,6 +100,9 @@ func main() {
 		}},
 		{"mdc", func() (*experiments.Table, error) {
 			return experiments.MDCGracefulDegradation(60, 4, []float64{0.005, 0.02, 0.1}, 1)
+		}},
+		{"faults", func() (*experiments.Table, error) {
+			return experiments.FaultDegradation(faultsN, 3, 11)
 		}},
 	}
 

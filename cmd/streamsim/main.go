@@ -25,6 +25,15 @@
 //	streamsim -scheme multitree -n 255 -d 3 -report-out report.json
 //	streamsim -scheme hypercube -n 500 -metrics-out metrics.prom -trace-out events.jsonl
 //	streamsim -scheme multitree -n 100000 -parallel -pprof localhost:6060
+//
+// Fault injection (see FAULTS.md): -faults loads a deterministic fault plan
+// (crashes, transient loss, link delay, churn) and replays it against the
+// run; -fault-seed overrides the plan's seed. The same plan and seed give a
+// bit-identical event stream on the sequential and parallel engines, and
+// the same frame losses on the goroutine runtime:
+//
+//	streamsim -scheme multitree -n 100 -d 3 -faults chaos.plan
+//	streamsim -scheme multitree -n 100 -d 3 -faults chaos.plan -fault-seed 7 -parallel
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 	chk "streamcast/internal/check"
 	"streamcast/internal/cluster"
 	"streamcast/internal/core"
+	"streamcast/internal/faults"
 	"streamcast/internal/gossip"
 	"streamcast/internal/hypercube"
 	"streamcast/internal/multitree"
@@ -67,6 +77,8 @@ func main() {
 		traceOut     = flag.String("trace-out", "", "write a JSONL event trace to this file ('-' for stdout)")
 		reportOut    = flag.String("report-out", "", "write a JSON run report to this file ('-' for stdout)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
+		faultsPath   = flag.String("faults", "", "replay this deterministic fault plan (see FAULTS.md)")
+		faultSeed    = flag.Int64("fault-seed", 0, "override the fault plan's seed (0 = keep the plan's)")
 	)
 	flag.Parse()
 
@@ -103,10 +115,23 @@ func main() {
 		fatalf("-metrics-out/-trace-out/-report-out require the slotsim engine (observability is a slotsim feature)")
 	}
 
+	var plan *faults.Plan
+	if *faultsPath != "" {
+		p, err := faults.Load(*faultsPath)
+		check(err)
+		if *faultSeed != 0 {
+			p.Seed = *faultSeed
+		}
+		plan = p
+		if len(plan.Churn) > 0 && *schemeName != "multitree" {
+			fatalf("churn events in %s require -scheme multitree (the dynamic family)", *faultsPath)
+		}
+	}
+
 	sk, observer := newSinks(*metricsOut, *traceOut, *reportOut)
 
 	if *schemeName == "cluster" {
-		runCluster(*k, *dd, *tc, *n, *d, constr, *doCheck, sk, observer)
+		runCluster(*k, *dd, *tc, *n, *d, constr, *doCheck, plan, sk, observer)
 		return
 	}
 
@@ -122,8 +147,25 @@ func main() {
 	opt.Mode = mode
 	switch *schemeName {
 	case "multitree":
-		m, err := multitree.New(*n, *d, constr)
-		check(err)
+		var m *multitree.MultiTree
+		if plan != nil && len(plan.Churn) > 0 {
+			// Replay the churn schedule through the dynamic family and
+			// stream the surviving snapshot — the repaired trees are what a
+			// post-churn deployment would actually run.
+			dy, err := multitree.NewDynamic(*n, *d, false)
+			check(err)
+			ops, err := faults.ApplyChurn(plan, dy)
+			check(err)
+			sum := faults.Summarize(ops, *d)
+			fmt.Fprintf(os.Stderr,
+				"streamsim: churn: %d ops, %d total swaps, worst op %d (bound d²+d = %d), %d members affected\n",
+				sum.Ops, sum.TotalSwaps, sum.MaxSwaps, sum.Bound, sum.Affected)
+			m, _ = dy.Snapshot()
+		} else {
+			var err error
+			m, err = multitree.New(*n, *d, constr)
+			check(err)
+		}
 		s := multitree.NewScheme(m, mode)
 		scheme = s
 		extra = core.Slot(m.Height()**d + 4**d + 2)
@@ -168,6 +210,15 @@ func main() {
 	opt.Packets = win
 	opt.Slots = core.Slot(int(win)) + extra
 
+	var in *faults.Injector
+	if plan != nil {
+		var err error
+		in, err = faults.NewInjector(plan)
+		check(err)
+		opt = in.Apply(opt)
+		fmt.Fprintf(os.Stderr, "streamsim: faults: %s\n", in.Describe())
+	}
+
 	if *doCheck {
 		chkOpt := chk.Options{
 			Horizon: opt.Slots, Packets: win, Mode: opt.Mode,
@@ -181,15 +232,39 @@ func main() {
 	}
 
 	if *engineName == "runtime" {
-		rres, err := runtime.Execute(scheme, runtime.Options{
-			Slots: opt.Slots, Packets: opt.Packets, Mode: opt.Mode,
-		})
+		ropt := runtime.Options{Slots: opt.Slots, Packets: opt.Packets, Mode: opt.Mode}
+		if in != nil {
+			// The runtime sees the same fault plan through its transport:
+			// the wrapper applies the identical per-frame verdict coins.
+			rcap := 1
+			if plan.HasDelay() {
+				rcap = 32 // delayed frames land beside the scheduled ones
+			}
+			ropt.RecvCap = rcap
+			ropt.Transport = runtime.NewFaultTransport(
+				runtime.NewChanTransport(scheme.NumReceivers(), rcap+4), in)
+			ropt.AllowIncomplete = true
+			ropt.SkipUnavailable = true
+		}
+		rres, err := runtime.Execute(scheme, ropt)
 		check(err)
 		fmt.Printf("scheme:        %s (goroutine runtime)\n", scheme.Name())
 		fmt.Printf("receivers:     %d\n", scheme.NumReceivers())
 		fmt.Printf("worst delay:   %d slots\n", rres.WorstStart())
 		fmt.Printf("worst buffer:  %d packets\n", rres.WorstBuffer())
 		fmt.Printf("warmup rebuf:  %d\n", rres.TotalHiccups())
+		if in != nil {
+			// Played keeps counting past the verification window while the
+			// stream continues, so report window completion, not raw totals.
+			complete := 0
+			for id := 1; id <= scheme.NumReceivers(); id++ {
+				if rres.Reports[id].Played >= int(opt.Packets) {
+					complete++
+				}
+			}
+			fmt.Printf("faulted:       %d of %d nodes played the full %d-packet window\n",
+				complete, scheme.NumReceivers(), opt.Packets)
+		}
 		return
 	}
 
@@ -207,10 +282,21 @@ func main() {
 	}
 	check(err)
 	report(scheme, res)
+	if in != nil {
+		degraded, missing := 0, 0
+		for id := 1; id <= scheme.NumReceivers(); id++ {
+			if res.Missing[id] > 0 {
+				degraded++
+				missing += res.Missing[id]
+			}
+		}
+		fmt.Printf("faulted:       %d of %d nodes missing packets (%d packets total)\n",
+			degraded, scheme.NumReceivers(), missing)
+	}
 	sk.finish(scheme, opt, res, wk)
 }
 
-func runCluster(k, dd, tc, n, d int, constr multitree.Construction, doCheck bool, sk *sinks, observer obs.Observer) {
+func runCluster(k, dd, tc, n, d int, constr multitree.Construction, doCheck bool, plan *faults.Plan, sk *sinks, observer obs.Observer) {
 	s, err := cluster.New(cluster.Config{
 		K: k, D: dd, Tc: core.Slot(tc), ClusterSize: n,
 		Degree: d, Intra: cluster.MultiTree, Construction: constr,
@@ -220,6 +306,12 @@ func runCluster(k, dd, tc, n, d int, constr multitree.Construction, doCheck bool
 		preflight(s, chk.ClusterOptions(s, core.Packet(3*d), core.Slot(40+8*d)))
 	}
 	opt := s.Options(core.Packet(3*d), core.Slot(40+8*d))
+	if plan != nil {
+		in, err := faults.NewInjector(plan)
+		check(err)
+		opt = in.Apply(opt)
+		fmt.Fprintf(os.Stderr, "streamsim: faults: %s\n", in.Describe())
+	}
 	opt.Observer = observer
 	res, err := slotsim.Run(s, opt)
 	check(err)

@@ -1,0 +1,85 @@
+package faults
+
+import (
+	"fmt"
+
+	"streamcast/internal/multitree"
+)
+
+// ChurnOp records what one replayed membership event did to the family.
+type ChurnOp struct {
+	Event ChurnEvent
+	// Resolved is the member name actually operated on (differs from
+	// Event.Name only for wildcard leaves).
+	Resolved string
+	Stats    multitree.OpStats
+}
+
+// ApplyChurn replays the plan's churn events, in slot order, against a
+// dynamic multi-tree family — recovery runs through the appendix's
+// eager/lazy restructuring algorithms. After every event the full family
+// invariant set is re-validated and the per-operation swap count is checked
+// against the appendix bound of d²+d (multitree.SwapBound); any breach is
+// an error, making the bound a hard property of every replayed plan, not a
+// statistical observation.
+//
+// A leave naming the wildcard "any" departs a member picked by a seeded
+// hash over the event index from the current live set, so wildcard plans
+// stay deterministic. The family is never churned below 2 members: a
+// leave that would do so is rejected with the event index.
+func ApplyChurn(p *Plan, dy *multitree.Dynamic) ([]ChurnOp, error) {
+	d := dy.Degree()
+	bound := multitree.SwapBound(d)
+	events := p.ChurnInOrder()
+	ops := make([]ChurnOp, 0, len(events))
+	for i, e := range events {
+		op := ChurnOp{Event: e, Resolved: e.Name}
+		var err error
+		if e.Leave {
+			if dy.N() <= 2 {
+				return ops, fmt.Errorf("faults: churn event %d (leave at slot %d): family is at the %d-member floor", i+1, e.At, dy.N())
+			}
+			if e.Name == AnyName {
+				names := dy.Names()
+				op.Resolved = names[pick(uint64(p.Seed), len(names), spaceChurnPick, int64(i))]
+			}
+			op.Stats, err = dy.Delete(op.Resolved)
+		} else {
+			op.Stats, err = dy.Add(e.Name)
+		}
+		if err != nil {
+			return ops, fmt.Errorf("faults: churn event %d (slot %d): %w", i+1, e.At, err)
+		}
+		if op.Stats.Swaps > bound {
+			return ops, fmt.Errorf("faults: churn event %d (slot %d, member %s): %d swaps exceeds the d²+d bound %d",
+				i+1, e.At, op.Resolved, op.Stats.Swaps, bound)
+		}
+		if err := dy.Validate(); err != nil {
+			return ops, fmt.Errorf("faults: churn event %d (slot %d): family invariant broken: %w", i+1, e.At, err)
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// ChurnSummary aggregates a replay: total and worst per-op swap counts and
+// how many members the operations perturbed.
+type ChurnSummary struct {
+	Ops, TotalSwaps, MaxSwaps, Affected int
+	// Bound is the per-operation appendix bound d²+d the replay was
+	// checked against.
+	Bound int
+}
+
+// Summarize folds replayed ops into a ChurnSummary.
+func Summarize(ops []ChurnOp, d int) ChurnSummary {
+	s := ChurnSummary{Ops: len(ops), Bound: multitree.SwapBound(d)}
+	for _, op := range ops {
+		s.TotalSwaps += op.Stats.Swaps
+		s.Affected += op.Stats.Affected
+		if op.Stats.Swaps > s.MaxSwaps {
+			s.MaxSwaps = op.Stats.Swaps
+		}
+	}
+	return s
+}

@@ -1,0 +1,17 @@
+// Package faults is the deterministic fault-injection subsystem (see
+// FAULTS.md): seeded plans of node crashes, probabilistic packet loss,
+// slot-delayed delivery, and membership churn, replayable bit for bit.
+//
+// A Plan is parsed from a small line-based text format (ParsePlan/Format
+// round-trip exactly) and compiled into an Injector whose every verdict is
+// a pure hash of (seed, rule, slot, from, to, packet) — never a stateful
+// PRNG — so the sequential and parallel slotsim engines, and the runtime
+// transport wrapper, reach identical decisions in any evaluation order.
+// For a fixed seed a faulted run therefore produces the same event stream,
+// the same obs.Metrics fingerprint, and the same RunReport under
+// slotsim.Run and slotsim.RunParallel: chaos runs are evidence, not noise.
+//
+// Membership churn replays through multitree.Dynamic (ApplyChurn), i.e.
+// recovery runs the appendix's eager/lazy restructuring algorithms, and
+// every operation is hard-checked against the d²+d swap bound.
+package faults

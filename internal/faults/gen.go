@@ -1,0 +1,92 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamcast/internal/core"
+)
+
+// GenOptions bounds the random plan generator.
+type GenOptions struct {
+	// Nodes is the receiver id space 1..Nodes crash/link rules draw from.
+	Nodes int
+	// Slots is the simulated horizon rule windows are drawn from.
+	Slots core.Slot
+	// MaxCrash, MaxLoss, MaxDelay, MaxChurn cap the number of rules of
+	// each kind (each count is uniform in [0, max]).
+	MaxCrash, MaxLoss, MaxDelay, MaxChurn int
+}
+
+// RandomPlan generates a valid plan from a seed — the chaos-testing
+// counterpart of testing/quick: the same seed always yields the same plan,
+// so any failure a generated plan exposes is replayable from the seed
+// alone. Churn joins use fresh "peer-<i>" names and leaves use the "any"
+// wildcard, so the sequence is valid against any family regardless of its
+// current membership.
+func RandomPlan(seed int64, opt GenOptions) *Plan {
+	if opt.Nodes < 1 {
+		opt.Nodes = 1
+	}
+	if opt.Slots < 1 {
+		opt.Slots = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := &Plan{Seed: seed}
+	window := func() (core.Slot, core.Slot) {
+		lo := core.Slot(rng.Intn(int(opt.Slots)))
+		if rng.Intn(4) == 0 {
+			return lo, Forever
+		}
+		hi := lo + core.Slot(rng.Intn(int(opt.Slots-lo)))
+		return lo, hi
+	}
+	node := func(wild bool) core.NodeID {
+		if wild && rng.Intn(2) == 0 {
+			return Any
+		}
+		return core.NodeID(1 + rng.Intn(opt.Nodes))
+	}
+	for i := rng.Intn(opt.MaxCrash + 1); i > 0; i-- {
+		p.Rules = append(p.Rules, Rule{
+			Kind: Crash, Node: node(false),
+			Begin: core.Slot(rng.Intn(int(opt.Slots))), End: Forever,
+		})
+	}
+	for i := rng.Intn(opt.MaxLoss + 1); i > 0; i-- {
+		lo, hi := window()
+		p.Rules = append(p.Rules, Rule{
+			Kind: Loss, From: node(true), To: node(true),
+			Rate: 0.01 + 0.5*rng.Float64(), Begin: lo, End: hi,
+		})
+	}
+	for i := rng.Intn(opt.MaxDelay + 1); i > 0; i-- {
+		lo, hi := window()
+		p.Rules = append(p.Rules, Rule{
+			Kind: Delay, From: node(true), To: node(true),
+			Rate: 0.25 + 0.75*rng.Float64(), Extra: core.Slot(1 + rng.Intn(3)),
+			Begin: lo, End: hi,
+		})
+	}
+	// Keep every prefix of the (slot-ordered) event sequence join-heavy, so
+	// the replay never drives a family below its initial membership: a
+	// leave is only emitted when a strictly earlier-or-equal-slot join
+	// covers it. This keeps generated plans valid for any family with at
+	// least 2 members.
+	var at core.Slot
+	surplus := 0
+	for i, n := 0, rng.Intn(opt.MaxChurn+1); i < n; i++ {
+		at += core.Slot(rng.Intn(3))
+		e := ChurnEvent{At: at}
+		if surplus > 0 && rng.Intn(2) == 0 {
+			e.Leave = true
+			e.Name = AnyName
+			surplus--
+		} else {
+			e.Name = fmt.Sprintf("peer-%d", i)
+			surplus++
+		}
+		p.Churn = append(p.Churn, e)
+	}
+	return p
+}

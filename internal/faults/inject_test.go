@@ -1,0 +1,249 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"streamcast/internal/core"
+	"streamcast/internal/multitree"
+	"streamcast/internal/obs"
+	"streamcast/internal/slotsim"
+)
+
+// faultedOptions builds the engine options for a multitree scheme under the
+// injector, with a horizon generous enough for the clean schedule.
+func faultedOptions(m *multitree.MultiTree, d int, in *Injector) slotsim.Options {
+	win := core.Packet(4 * d)
+	return in.Apply(slotsim.Options{
+		Slots:   core.Slot(int(win)) + core.Slot(m.Height()*d+4*d+2),
+		Packets: win,
+	})
+}
+
+// runBoth executes the same faulted run on the sequential and parallel
+// engines with full observation and asserts bit-identical outcomes:
+// identical Result, identical event streams, identical fingerprints.
+func runBoth(t *testing.T, s core.Scheme, opt slotsim.Options, workers int) (*slotsim.Result, *obs.Metrics) {
+	t.Helper()
+	recSeq, recPar := &obs.Recorder{}, &obs.Recorder{}
+	metSeq, metPar := obs.NewMetrics(), obs.NewMetrics()
+
+	optSeq := opt
+	optSeq.Observer = obs.Combine(recSeq, metSeq)
+	resSeq, errSeq := slotsim.Run(s, optSeq)
+
+	optPar := opt
+	optPar.Observer = obs.Combine(recPar, metPar)
+	resPar, errPar := slotsim.RunParallel(s, optPar, workers)
+
+	if (errSeq == nil) != (errPar == nil) {
+		t.Fatalf("engines disagree on acceptance: sequential %v, parallel %v", errSeq, errPar)
+	}
+	if errSeq != nil {
+		if errSeq.Error() != errPar.Error() {
+			t.Fatalf("engines rejected differently: %q vs %q", errSeq, errPar)
+		}
+		return nil, metSeq
+	}
+	if !reflect.DeepEqual(resSeq, resPar) {
+		t.Fatalf("results differ between engines")
+	}
+	if got, want := metPar.Fingerprint(), metSeq.Fingerprint(); got != want {
+		t.Fatalf("fingerprints differ: parallel %s, sequential %s", got, want)
+	}
+	if !reflect.DeepEqual(recSeq.Events, recPar.Events) {
+		la, lb := len(recSeq.Events), len(recPar.Events)
+		for i := 0; i < la && i < lb; i++ {
+			if recSeq.Events[i] != recPar.Events[i] {
+				t.Fatalf("event %d differs: sequential %s, parallel %s", i, recSeq.Events[i], recPar.Events[i])
+			}
+		}
+		t.Fatalf("event streams differ in length: %d vs %d", la, lb)
+	}
+	return resSeq, metSeq
+}
+
+// TestFaultedParity is the acceptance criterion: for a fixed seed, a
+// faulted run produces identical obs fingerprints (and event streams, and
+// Results) under Run and RunParallel, across generated plans with every
+// fault kind active.
+func TestFaultedParity(t *testing.T) {
+	const n, d = 40, 3
+	m, err := multitree.New(n, d, multitree.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := multitree.NewScheme(m, core.PreRecorded)
+	for seed := int64(1); seed <= 12; seed++ {
+		plan := RandomPlan(seed, GenOptions{
+			Nodes: n, Slots: 50, MaxCrash: 2, MaxLoss: 3, MaxDelay: 2,
+		})
+		in, err := NewInjector(plan)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, workers := range []int{2, 7} {
+			runBoth(t, s, faultedOptions(m, d, in), workers)
+		}
+	}
+}
+
+// TestFaultedReplay: running the same plan twice gives the identical
+// fingerprint; a different seed gives a different fault pattern.
+func TestFaultedReplay(t *testing.T) {
+	const n, d = 30, 3
+	m, err := multitree.New(n, d, multitree.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := multitree.NewScheme(m, core.PreRecorded)
+	run := func(seed int64) (string, int) {
+		plan := &Plan{Seed: seed, Rules: []Rule{
+			{Kind: Loss, From: Any, To: Any, Rate: 0.2, Begin: 0, End: Forever},
+		}}
+		in, err := NewInjector(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		met := obs.NewMetrics()
+		opt := faultedOptions(m, d, in)
+		opt.Observer = met
+		res, err := slotsim.Run(s, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		missing := 0
+		for _, v := range res.Missing {
+			missing += v
+		}
+		return met.Fingerprint(), missing
+	}
+	fpA1, missA1 := run(7)
+	fpA2, missA2 := run(7)
+	if fpA1 != fpA2 || missA1 != missA2 {
+		t.Errorf("same seed diverged: %s/%d vs %s/%d", fpA1, missA1, fpA2, missA2)
+	}
+	if missA1 == 0 {
+		t.Error("20%% loss produced no missing packets — injection inert")
+	}
+	fpB, _ := run(8)
+	if fpB == fpA1 {
+		t.Error("different seeds produced identical faulted schedules")
+	}
+}
+
+// TestCrashSemantics: a crashed node stops contributing at its crash slot —
+// everything it would send or receive afterwards is dropped, and its
+// subtree degrades instead of aborting the run.
+func TestCrashSemantics(t *testing.T) {
+	const n, d = 25, 2
+	m, err := multitree.New(n, d, multitree.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := multitree.NewScheme(m, core.PreRecorded)
+	// Crash an interior node of tree 0 (position 1 is its root child).
+	victim := m.Trees[0][0]
+	plan := &Plan{Seed: 1, Rules: []Rule{{Kind: Crash, Node: victim, Begin: 3, End: Forever}}}
+	in, err := NewInjector(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := obs.NewMetrics()
+	opt := faultedOptions(m, d, in)
+	opt.Observer = met
+	res, err := slotsim.Run(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missing[victim] == 0 {
+		t.Error("crashed node missed nothing")
+	}
+	// The victim received nothing from slot 3 on.
+	for p, a := range res.Arrival[victim] {
+		if a >= 3 {
+			t.Errorf("crashed node still received packet %d at slot %d", p, a)
+		}
+	}
+	if met.Node(victim).Drops == 0 {
+		t.Error("no drops recorded for the crashed sender")
+	}
+	// Some other node must keep a complete stream (the source's other
+	// subtrees are unaffected).
+	complete := 0
+	for id := 1; id <= n; id++ {
+		if core.NodeID(id) != victim && res.Missing[id] == 0 {
+			complete++
+		}
+	}
+	if complete == 0 {
+		t.Error("one crash starved every receiver")
+	}
+}
+
+// TestDelaySemantics: a deterministic +k delay on one link shifts exactly
+// that receiver's arrivals and inflates its start delay.
+func TestDelaySemantics(t *testing.T) {
+	const n, d = 12, 2
+	m, err := multitree.New(n, d, multitree.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := multitree.NewScheme(m, core.PreRecorded)
+	clean, err := slotsim.Run(s, slotsim.Options{Slots: 60, Packets: core.Packet(3 * d)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := m.Trees[0][m.NP-1] // a tail (all-leaf) member: delays nobody downstream
+	plan := &Plan{Seed: 1, Rules: []Rule{
+		{Kind: Delay, From: Any, To: leaf, Rate: 1, Extra: 4, Begin: 0, End: Forever},
+	}}
+	in, err := NewInjector(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := in.Apply(slotsim.Options{Slots: 60, Packets: core.Packet(3 * d)})
+	faulted, err := slotsim.Run(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := faulted.StartDelay[leaf], clean.StartDelay[leaf]+4; got != want {
+		t.Errorf("delayed leaf start %d, want %d", got, want)
+	}
+	for id := 1; id <= n; id++ {
+		if core.NodeID(id) == leaf {
+			continue
+		}
+		if faulted.StartDelay[id] != clean.StartDelay[id] {
+			t.Errorf("node %d start changed %d -> %d under a delay scoped to node %d",
+				id, clean.StartDelay[id], faulted.StartDelay[id], leaf)
+		}
+	}
+}
+
+// TestInjectorRejectsBadPlan: NewInjector refuses invalid plans.
+func TestInjectorRejectsBadPlan(t *testing.T) {
+	if _, err := NewInjector(&Plan{Rules: []Rule{{Kind: Loss, Rate: 2, End: 1}}}); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}
+
+// TestDescribeAndCrashedNodes covers the reporting helpers.
+func TestDescribeAndCrashedNodes(t *testing.T) {
+	p := &Plan{Seed: 5, Rules: []Rule{
+		{Kind: Crash, Node: 3, Begin: 1, End: Forever},
+		{Kind: Crash, Node: 3, Begin: 9, End: Forever},
+		{Kind: Crash, Node: 7, Begin: 2, End: Forever},
+		{Kind: Loss, From: Any, To: Any, Rate: 0.5, End: Forever},
+	}}
+	in, err := NewInjector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.CrashedNodes(); !reflect.DeepEqual(got, []core.NodeID{3, 7}) {
+		t.Errorf("CrashedNodes = %v", got)
+	}
+	if got := in.Describe(); got != "seed=5 crash=3 loss=1 delay=0 churn=0" {
+		t.Errorf("Describe = %q", got)
+	}
+}

@@ -1,0 +1,140 @@
+package integration
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"streamcast/internal/check"
+	"streamcast/internal/cluster"
+	"streamcast/internal/core"
+	"streamcast/internal/hypercube"
+	"streamcast/internal/multitree"
+	"streamcast/internal/obs"
+	"streamcast/internal/slotsim"
+)
+
+// differential runs the three independent judges of a scheme — the static
+// verifier, the sequential engine, and the parallel engine — over the same
+// window and requires a unanimous verdict. On acceptance the two engine
+// Results must be deeply equal and their observer fingerprints identical;
+// on rejection all three must reject. The static verifier and the engines
+// share no simulation code beyond the Transmissions schedule itself, so
+// agreement here is a genuine cross-check, not an echo.
+func differential(t *testing.T, tag string, s core.Scheme, copt check.Options, sopt slotsim.Options, workers int) {
+	t.Helper()
+	rep, cerr := check.Static(s, copt)
+	staticOK := cerr == nil && rep.OK()
+
+	recSeq, recPar := &obs.Recorder{}, &obs.Recorder{}
+	metSeq, metPar := obs.NewMetrics(), obs.NewMetrics()
+	oSeq := sopt
+	oSeq.Observer = obs.Combine(recSeq, metSeq)
+	resSeq, errSeq := slotsim.Run(s, oSeq)
+	oPar := sopt
+	oPar.Observer = obs.Combine(recPar, metPar)
+	resPar, errPar := slotsim.RunParallel(s, oPar, workers)
+
+	if (errSeq == nil) != (errPar == nil) {
+		t.Fatalf("%s: engines disagree: sequential %v, parallel %v", tag, errSeq, errPar)
+	}
+	if errSeq != nil && errPar != nil && errSeq.Error() != errPar.Error() {
+		t.Fatalf("%s: engines rejected differently: %q vs %q", tag, errSeq, errPar)
+	}
+	engineOK := errSeq == nil
+	if staticOK != engineOK {
+		t.Fatalf("%s: static verifier says ok=%v (err=%v, report=%v) but engines say ok=%v (%v)",
+			tag, staticOK, cerr, rep.Err(), engineOK, errSeq)
+	}
+	if !engineOK {
+		return
+	}
+	if !reflect.DeepEqual(resSeq, resPar) {
+		t.Fatalf("%s: engine Results differ", tag)
+	}
+	if a, b := metSeq.Fingerprint(), metPar.Fingerprint(); a != b {
+		t.Fatalf("%s: fingerprints differ: %s vs %s", tag, a, b)
+	}
+	if !reflect.DeepEqual(recSeq.Events, recPar.Events) {
+		t.Fatalf("%s: event streams differ", tag)
+	}
+}
+
+// TestDifferentialMultitree sweeps seeded random multi-tree configurations
+// through the harness, each both at the verifier-derived horizon (accept)
+// and at a starved horizon (reject).
+func TestDifferentialMultitree(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 25; i++ {
+		n := rng.Intn(120) + 1
+		d := rng.Intn(5) + 2
+		c := multitree.Structured
+		if rng.Intn(2) == 1 {
+			c = multitree.Greedy
+		}
+		modes := []core.StreamMode{core.PreRecorded, core.Live, core.LivePreBuffered}
+		mode := modes[rng.Intn(len(modes))]
+		m, err := multitree.New(n, d, c)
+		if err != nil {
+			t.Fatalf("N=%d d=%d: %v", n, d, err)
+		}
+		s := multitree.NewScheme(m, mode)
+		copt := check.MultiTreeOptions(s, core.Packet(3*d))
+		sopt := slotsim.Options{Slots: copt.Horizon, Packets: copt.Packets, Mode: mode}
+		tag := s.Name()
+		differential(t, tag, s, copt, sopt, rng.Intn(7)+2)
+
+		// Starve the window: everyone must reject, and the engines must
+		// reject identically.
+		short := copt
+		short.Horizon = core.Slot(d)
+		sshort := sopt
+		sshort.Slots = core.Slot(d)
+		differential(t, tag+" (starved)", s, short, sshort, rng.Intn(7)+2)
+	}
+}
+
+// TestDifferentialHypercube does the same sweep over hypercube families,
+// including d=1 single cubes and chained variants.
+func TestDifferentialHypercube(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 25; i++ {
+		n := rng.Intn(300) + 1
+		d := rng.Intn(4) + 1
+		s, err := hypercube.New(n, d)
+		if err != nil {
+			t.Fatalf("N=%d d=%d: %v", n, d, err)
+		}
+		copt := check.HypercubeOptions(s, 8)
+		sopt := slotsim.Options{Slots: copt.Horizon, Packets: copt.Packets, Mode: core.Live}
+		differential(t, s.Name(), s, copt, sopt, rng.Intn(7)+2)
+	}
+}
+
+// TestDifferentialCluster sweeps composed multi-cluster schemes; options
+// come from the scheme itself so capacities and backbone latencies match
+// between the verifier and the engines.
+func TestDifferentialCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 8; i++ {
+		cfg := cluster.Config{
+			K:           rng.Intn(5) + 1,
+			D:           rng.Intn(3) + 3,
+			Tc:          core.Slot(rng.Intn(3) + 1),
+			ClusterSize: rng.Intn(12) + 4,
+			Degree:      rng.Intn(2) + 2,
+			Intra:       cluster.MultiTree,
+			Construction: []multitree.Construction{
+				multitree.Structured, multitree.Greedy,
+			}[rng.Intn(2)],
+		}
+		s, err := cluster.New(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		const packets, extra = 8, 8
+		copt := check.ClusterOptions(s, packets, extra)
+		sopt := s.Options(packets, extra)
+		differential(t, s.Name(), s, copt, sopt, rng.Intn(7)+2)
+	}
+}

@@ -81,6 +81,50 @@ func TestDynamicSwapBounds(t *testing.T) {
 	}
 }
 
+// TestSwapBoundUnderGeneratedChurn drives generated join/leave schedules —
+// the same shape internal/faults replays from fault plans — through eager
+// and lazy dynamics and requires every single operation to stay within
+// SwapBound(d) = d²+d, the appendix's worst case over both op kinds. This
+// is the bound ApplyChurn enforces as a hard error, so it must hold for
+// every reachable state, not just the curated workloads above.
+func TestSwapBoundUnderGeneratedChurn(t *testing.T) {
+	for _, d := range []int{2, 3, 4, 5} {
+		for _, lazy := range []bool{false, true} {
+			for seed := int64(0); seed < 10; seed++ {
+				dy, err := NewDynamic(2*d+1, d, lazy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(seed))
+				next := 0
+				for step := 0; step < 120; step++ {
+					var st OpStats
+					var op string
+					if rng.Intn(3) > 0 || dy.N() <= 2 {
+						next++
+						op = "add"
+						st, err = dy.Add(fmt.Sprintf("g-%d", next))
+					} else {
+						names := dy.Names()
+						op = "delete"
+						st, err = dy.Delete(names[rng.Intn(len(names))])
+					}
+					if err != nil {
+						t.Fatalf("d=%d lazy=%v seed=%d step %d: %v", d, lazy, seed, step, err)
+					}
+					if st.Swaps > SwapBound(d) {
+						t.Fatalf("d=%d lazy=%v seed=%d step %d: %s used %d swaps > SwapBound %d",
+							d, lazy, seed, step, op, st.Swaps, SwapBound(d))
+					}
+				}
+				if err := dy.Validate(); err != nil {
+					t.Fatalf("d=%d lazy=%v seed=%d: %v", d, lazy, seed, err)
+				}
+			}
+		}
+	}
+}
+
 // TestLazySavesSwaps reproduces the appendix observation: on an alternating
 // delete/add workload that crosses the d|N boundary, the lazy variant skips
 // the restore-then-undo pair, saving about d²+d swaps per cycle.

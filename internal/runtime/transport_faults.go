@@ -1,0 +1,117 @@
+package runtime
+
+import (
+	"sort"
+	"sync"
+
+	"streamcast/internal/core"
+)
+
+// FrameFault decides the fate of one frame crossing a fault transport: lose
+// it, hold it for extra slots, or pass it through. Implementations must be
+// safe for concurrent calls and deterministic in (t, from, to, pkt) —
+// faults.Injector is the plan-driven implementation.
+type FrameFault interface {
+	FrameVerdict(t core.Slot, from, to core.NodeID, pkt core.Packet) (drop bool, delay core.Slot)
+}
+
+// heldFrame is a delayed frame waiting out its extra slots.
+type heldFrame struct {
+	due      core.Slot
+	seq      int // arrival order within the wrapper, for a stable release order
+	from, to core.NodeID
+	frame    []byte
+}
+
+// faultTransport wraps an inner Transport with deterministic loss and
+// slot-granular delay. It counts slots by Sync calls — the runtime executes
+// exactly one Sync per slot (the end-of-slot flush barrier) — so a frame
+// sent in slot t with delay k reaches the inner transport during the Sync
+// of slot t+k and is drained in that slot's receive phase.
+type faultTransport struct {
+	inner Transport
+	fault FrameFault
+
+	mu   sync.Mutex
+	slot core.Slot
+	seq  int
+	held []heldFrame
+	// dropped counts frames the fault verdict lost, for tests and reports.
+	dropped int
+}
+
+// NewFaultTransport wraps a transport with fault injection. Frames whose
+// header does not decode are passed through undisturbed (the wrapper
+// injects faults; it does not police the codec).
+func NewFaultTransport(inner Transport, fault FrameFault) Transport {
+	return &faultTransport{inner: inner, fault: fault}
+}
+
+func (t *faultTransport) Deliver(from, to core.NodeID, frame []byte) error {
+	pkt, _, err := decodeFrame(frame)
+	if err != nil {
+		return t.inner.Deliver(from, to, frame)
+	}
+	t.mu.Lock()
+	slot := t.slot
+	t.mu.Unlock()
+	drop, delay := t.fault.FrameVerdict(slot, from, to, pkt)
+	if drop {
+		t.mu.Lock()
+		t.dropped++
+		t.mu.Unlock()
+		return nil // lost in flight
+	}
+	if delay > 0 {
+		t.mu.Lock()
+		t.held = append(t.held, heldFrame{due: slot + delay, seq: t.seq, from: from, to: to, frame: frame})
+		t.seq++
+		t.mu.Unlock()
+		return nil
+	}
+	return t.inner.Deliver(from, to, frame)
+}
+
+// Sync releases every held frame that has served out its delay, then
+// flushes the inner transport and advances the slot clock.
+func (t *faultTransport) Sync() error {
+	t.mu.Lock()
+	var due []heldFrame
+	kept := t.held[:0]
+	for _, h := range t.held {
+		if h.due <= t.slot {
+			due = append(due, h)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	t.held = kept
+	t.slot++
+	t.mu.Unlock()
+	// Stable release order: by original arrival sequence. Concurrent
+	// senders make the sequence itself scheduling-dependent, but which
+	// frames are released this slot is not.
+	sort.Slice(due, func(i, j int) bool { return due[i].seq < due[j].seq })
+	for _, h := range due {
+		if err := t.inner.Deliver(h.from, h.to, h.frame); err != nil {
+			return err
+		}
+	}
+	return t.inner.Sync()
+}
+
+func (t *faultTransport) Drain(to core.NodeID) ([][]byte, error) { return t.inner.Drain(to) }
+
+func (t *faultTransport) Close() error {
+	t.mu.Lock()
+	t.held = nil // frames still in flight at shutdown are lost
+	t.mu.Unlock()
+	return t.inner.Close()
+}
+
+// Dropped returns how many frames the fault verdict lost so far.
+func (t *faultTransport) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

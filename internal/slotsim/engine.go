@@ -54,6 +54,14 @@ type Options struct {
 	// which it returns true is validated and consumes send capacity but is
 	// lost in flight (it never arrives). Use with AllowIncomplete.
 	Drop func(tx core.Transmission, t core.Slot) bool
+	// Inject, if non-nil, is the structured fault-injection hook (see
+	// internal/faults): it is consulted once per validated transmission, in
+	// schedule order, by both Run and RunParallel — the call sites sit in
+	// the single-threaded routing step shared by the two engines, so a
+	// deterministic Injector yields bit-identical faulted runs. DropTx
+	// loses the transmission in flight exactly like Drop; DelayTx stretches
+	// the link latency for that one transmission.
+	Inject Injector
 	// AllowIncomplete, if set, lets the run finish even when some node
 	// missed some packet of the measurement window; missing packets are
 	// reported in Result.Missing and excluded from StartDelay.
@@ -68,6 +76,22 @@ type Options struct {
 	// simulator for super nodes is NOT needed — super nodes receive the
 	// stream — but used in tests for standalone sub-schemes).
 	ExtraSources map[core.NodeID]bool
+}
+
+// Injector is the engine's structured fault-injection hook. Both engines
+// invoke it from the single-threaded per-slot routing step, in schedule
+// order, so implementations need no locking; implementations whose verdicts
+// are pure functions of (tx, t) make faulted runs replayable bit for bit.
+// internal/faults provides the seeded, plan-driven implementation.
+type Injector interface {
+	// DropTx reports whether the validated transmission is lost in flight:
+	// it consumes send capacity and produces a Drop observer event, but
+	// never arrives.
+	DropTx(tx core.Transmission, t core.Slot) bool
+	// DelayTx returns extra slots added to the link latency of this one
+	// transmission (0 = undisturbed). A negative value is a configuration
+	// error and aborts the run.
+	DelayTx(tx core.Transmission, t core.Slot) core.Slot
 }
 
 // A Violation describes a broken model constraint detected during execution.
@@ -366,10 +390,24 @@ func (e *engine) route(t core.Slot, txs []core.Transmission, sameSlot []core.Tra
 			}
 			continue // lost in flight; send capacity already spent
 		}
+		if e.opt.Inject != nil && e.opt.Inject.DropTx(tx, t) {
+			if e.obs != nil {
+				e.obs.Drop(t, tx)
+			}
+			continue // lost in flight; send capacity already spent
+		}
 		l := e.latency(tx.From, tx.To)
 		if l < 1 {
 			return nil, fmt.Errorf("slotsim: slot %d: Latency(%d, %d) returned %d for %s; LatencyFunc must return at least 1",
 				t, tx.From, tx.To, l, tx)
+		}
+		if e.opt.Inject != nil {
+			x := e.opt.Inject.DelayTx(tx, t)
+			if x < 0 {
+				return nil, fmt.Errorf("slotsim: slot %d: Inject.DelayTx returned %d for %s; extra delay must be >= 0",
+					t, x, tx)
+			}
+			l += x
 		}
 		if e.obs != nil {
 			e.obs.Transmit(t, tx)

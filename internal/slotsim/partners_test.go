@@ -66,3 +66,82 @@ func TestDeclaredNeighborsCoverActualPartners(t *testing.T) {
 		}
 	}
 }
+
+// TestCollectPartnersEdgeCases pins the behaviour of the partner collector
+// at the degenerate corners of the model: single-receiver families, d=1
+// topologies, and empty observation windows.
+func TestCollectPartnersEdgeCases(t *testing.T) {
+	mt := func(n, d int) core.Scheme {
+		m, err := multitree.New(n, d, multitree.Greedy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return multitree.NewScheme(m, core.PreRecorded)
+	}
+	hc := func(n, d int) core.Scheme {
+		s, err := hypercube.New(n, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	chain := func(n int) core.Scheme {
+		c, err := baseline.NewChain(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	cases := []struct {
+		name   string
+		scheme core.Scheme
+		slots  core.Slot
+		// wantOnlySource: every listed node's sole partner is the source.
+		wantOnlySource []core.NodeID
+		wantEmpty      bool
+	}{
+		{name: "N=1 multitree: source is the only partner", scheme: mt(1, 2),
+			slots: 20, wantOnlySource: []core.NodeID{1}},
+		{name: "N=1 chain", scheme: chain(1),
+			slots: 20, wantOnlySource: []core.NodeID{1}},
+		{name: "N=1 d=1 hypercube", scheme: hc(1, 1),
+			slots: 20, wantOnlySource: []core.NodeID{1}},
+		{name: "zero-slot window sees nobody", scheme: mt(9, 2),
+			slots: 0, wantEmpty: true},
+		{name: "d=1 hypercube N=7", scheme: hc(7, 1), slots: 80},
+		{name: "chain N=3", scheme: chain(3), slots: 20},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			partners := slotsim.CollectPartners(c.scheme, c.slots)
+			if c.wantEmpty && len(partners) != 0 {
+				t.Fatalf("expected no partners, got %v", partners)
+			}
+			if _, ok := partners[core.SourceID]; ok {
+				t.Error("source appears as a partnered node; it has no playback deadline")
+			}
+			for _, id := range c.wantOnlySource {
+				got := partners[id]
+				if len(got) != 1 || got[0] != core.SourceID {
+					t.Errorf("node %d partners = %v, want only the source", id, got)
+				}
+			}
+			// Whatever was measured must stay inside the declared sets.
+			if err := slotsim.VerifyNeighbors(c.scheme, c.slots); err != nil {
+				t.Error(err)
+			}
+			// Partner lists come out sorted and without self-loops.
+			for id, list := range partners {
+				for i, nb := range list {
+					if nb == id {
+						t.Errorf("node %d partnered with itself", id)
+					}
+					if i > 0 && list[i-1] >= nb {
+						t.Errorf("node %d partner list not strictly sorted: %v", id, list)
+					}
+				}
+			}
+		})
+	}
+}
