@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint bench fuzz chaos ci clean
+.PHONY: build test race vet lint bench benchsmoke bench-json fuzz chaos ci clean
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,20 @@ lint:
 bench:
 	$(GO) test -bench . -benchtime 1x -run XXX .
 
+# One-iteration benchmark smoke: proves every benchmark still compiles and
+# runs. Part of ci; numbers from a 1x pass are not meaningful.
+benchsmoke:
+	$(GO) test -bench . -benchtime 1x -benchmem -run XXX .
+
+# Measured benchmark snapshot as JSON (ns/op, B/op, allocs/op, custom
+# metrics), written to BENCH_<date>.json via cmd/benchdiff. Compare two
+# snapshots with:
+#   go run ./cmd/benchdiff -old BENCH_a.json -new BENCH_b.json -threshold 0.2
+BENCHTIME ?= 2x
+bench-json:
+	$(GO) test -bench . -benchtime $(BENCHTIME) -benchmem -run XXX . \
+		| $(GO) run ./cmd/benchdiff -write BENCH_$$(date +%Y-%m-%d).json
+
 # Short fuzz smoke over the fault-plan parser (FAULTS.md). CI keeps this
 # brief; crank -fuzztime for a real session.
 fuzz:
@@ -43,7 +57,7 @@ fuzz:
 chaos:
 	$(GO) test ./internal/faults -run 'TestChaosCorpus|TestCorpusPlansRoundTrip' -count=1 -v
 
-ci: build vet lint test race fuzz chaos
+ci: build vet lint test race fuzz chaos benchsmoke
 
 clean:
 	$(GO) clean ./...

@@ -185,6 +185,12 @@ func Static(s core.Scheme, opt Options) (*Report, error) {
 	if opt.MaxIssues == 0 {
 		opt.MaxIssues = 32
 	}
+	// Periodic schemes are verified against a compiled snapshot of one
+	// schedule period: both the interpreter pass and the mesh audit then read
+	// precomputed slots instead of regenerating them.
+	if c := core.CompileForRun(s, opt.Horizon); c != nil {
+		s = c
+	}
 	srcCap := s.SourceCapacity()
 	if opt.SendCap == nil {
 		opt.SendCap = func(id core.NodeID) int {

@@ -26,12 +26,13 @@ func DelayDistribution(ns []int, d int) (*Table, error) {
 			"N", "scheme", "min", "p50", "mean", "p90", "p99", "max", "histogram",
 		},
 	}
-	addRow := func(n int, name string, delays []float64) {
+	distRow := func(n int, name string, delays []float64) []interface{} {
 		s := stats.Summarize(delays)
 		hist := stats.Sparkline(stats.Histogram(delays, 12))
-		t.AddRow(n, name, s.Min, s.P50, s.Mean, s.P90, s.P99, s.Max, hist)
+		return []interface{}{n, name, s.Min, s.P50, s.Mean, s.P90, s.P99, s.Max, hist}
 	}
-	for _, n := range ns {
+	groups, err := forEachRow(len(ns), func(i int) ([][]interface{}, error) {
+		n := ns[i]
 		_, res, err := multitreeResult(n, d, multitree.Greedy, core.PreRecorded)
 		if err != nil {
 			return nil, err
@@ -40,18 +41,23 @@ func DelayDistribution(ns []int, d int) (*Table, error) {
 		for id := 1; id <= n; id++ {
 			delays = append(delays, float64(res.StartDelay[id]))
 		}
-		addRow(n, "multi-tree", delays)
+		rows := [][]interface{}{distRow(n, "multi-tree", delays)}
 
 		_, hres, err := hypercubeResult(n, 1)
 		if err != nil {
 			return nil, err
 		}
-		delays = delays[:0]
+		delays = make([]float64, 0, n)
 		for id := 1; id <= n; id++ {
 			delays = append(delays, float64(hres.StartDelay[id]))
 		}
-		addRow(n, "hypercube", delays)
+		rows = append(rows, distRow(n, "hypercube", delays))
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addGroups(t, groups)
 	return t, nil
 }
 
@@ -68,7 +74,8 @@ func StructuredVsUnstructured(ns []int, d int) (*Table, error) {
 			"N", "scheme", "avg delay", "p99 delay", "max delay", "holes", "provable bound",
 		},
 	}
-	for _, n := range ns {
+	groups, err := forEachRow(len(ns), func(i int) ([][]interface{}, error) {
+		n := ns[i]
 		_, res, err := multitreeResult(n, d, multitree.Greedy, core.PreRecorded)
 		if err != nil {
 			return nil, err
@@ -78,8 +85,8 @@ func StructuredVsUnstructured(ns []int, d int) (*Table, error) {
 			delays = append(delays, float64(res.StartDelay[id]))
 		}
 		sum := stats.Summarize(delays)
-		t.AddRow(n, "multi-tree", sum.Mean, sum.P99, sum.Max,
-			0, fmt.Sprintf("h*d = %d", analysis.Theorem2Bound(n, d)))
+		rows := [][]interface{}{{n, "multi-tree", sum.Mean, sum.P99, sum.Max,
+			0, fmt.Sprintf("h*d = %d", analysis.Theorem2Bound(n, d))}}
 
 		g, err := gossip.New(n, d, 5, gossip.PullOldest, 42)
 		if err != nil {
@@ -101,8 +108,13 @@ func StructuredVsUnstructured(ns []int, d int) (*Table, error) {
 			holes += gres.Missing[id]
 		}
 		sum = stats.Summarize(delays)
-		t.AddRow(n, "gossip pull", sum.Mean, sum.P99, sum.Max, holes, "none (best effort)")
+		rows = append(rows, []interface{}{n, "gossip pull", sum.Mean, sum.P99, sum.Max, holes, "none (best effort)"})
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addGroups(t, groups)
 	return t, nil
 }
 

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerLimit caps the number of concurrent row workers; 0 (the default)
+// selects GOMAXPROCS. Tests override it to force a specific pool shape.
+var workerLimit = 0
+
+// rowWorkers returns the worker-pool size for n independent row builds.
+func rowWorkers(n int) int {
+	w := workerLimit
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// forEachRow evaluates n independent row builds — build(i) returns the group
+// of table rows for sweep index i — on a bounded worker pool and returns the
+// groups in index order, so the assembled table is byte-identical to a serial
+// sweep regardless of scheduling. On error the lowest-index failure wins,
+// again matching what a serial sweep would have reported first.
+//
+// When a report sink is installed the sweep stays serial: run reports are
+// emitted in deterministic row order, and sink callbacks never race.
+func forEachRow(n int, build func(i int) ([][]interface{}, error)) ([][][]interface{}, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	w := rowWorkers(n)
+	if w <= 1 || reportsActive() {
+		out := make([][][]interface{}, n)
+		for i := 0; i < n; i++ {
+			g, err := build(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = g
+		}
+		return out, nil
+	}
+	out := make([][][]interface{}, n)
+	errs := make([]error, n)
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = build(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// addGroups appends the ordered row groups produced by forEachRow to a table.
+func addGroups(t *Table, groups [][][]interface{}) {
+	for _, g := range groups {
+		for _, row := range g {
+			t.AddRow(row...)
+		}
+	}
+}

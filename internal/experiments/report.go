@@ -1,10 +1,17 @@
 package experiments
 
 import (
+	"sync"
+
 	"streamcast/internal/core"
 	"streamcast/internal/obs"
 	"streamcast/internal/slotsim"
 )
+
+// reportMu guards reportSink: runners consult it per simulation and may in
+// principle race with SetReportSink; forEachRow additionally degrades to a
+// serial sweep while a sink is installed so callbacks arrive in row order.
+var reportMu sync.Mutex
 
 // reportSink, when set, receives a RunReport for every simulation a runner
 // executes through the shared simulate helper.
@@ -14,16 +21,32 @@ var reportSink func(*obs.RunReport)
 // the machine-readable run report of every engine execution the experiment
 // runners perform — one report per simulated scheme configuration, carrying
 // the per-slot buffer/traffic series behind the table's aggregate numbers.
-// cmd/experiments uses it to implement -reports. Not safe for concurrent
-// runner execution.
-func SetReportSink(fn func(*obs.RunReport)) { reportSink = fn }
+// cmd/experiments uses it to implement -reports. Safe to call concurrently
+// with runner execution; while a sink is installed, runners execute their
+// sweeps serially so the sink observes reports in deterministic row order.
+func SetReportSink(fn func(*obs.RunReport)) {
+	reportMu.Lock()
+	reportSink = fn
+	reportMu.Unlock()
+}
+
+// currentSink returns the installed sink, if any.
+func currentSink() func(*obs.RunReport) {
+	reportMu.Lock()
+	defer reportMu.Unlock()
+	return reportSink
+}
+
+// reportsActive reports whether a run-report sink is installed.
+func reportsActive() bool { return currentSink() != nil }
 
 // simulate runs a scheme over a standard measurement window, attaching a
 // metrics observer when a report sink is installed.
 func simulate(s core.Scheme, packets core.Packet, extraSlots core.Slot, opt slotsim.Options) (*slotsim.Result, error) {
 	opt.Packets = packets
 	opt.Slots = core.Slot(int(packets)) + extraSlots
-	if reportSink == nil {
+	sink := currentSink()
+	if sink == nil {
 		return slotsim.Run(s, opt)
 	}
 	m := obs.NewMetrics()
@@ -32,6 +55,6 @@ func simulate(s core.Scheme, packets core.Packet, extraSlots core.Slot, opt slot
 	if err != nil {
 		return nil, err
 	}
-	reportSink(slotsim.BuildReport(s, opt, res, m, 0))
+	sink(slotsim.BuildReport(s, opt, res, m, 0))
 	return res, nil
 }

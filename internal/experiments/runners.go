@@ -78,7 +78,8 @@ func Figure4(maxN, step int, degrees []int, construction multitree.Construction)
 	for _, d := range degrees {
 		t.Columns = append(t.Columns, fmt.Sprintf("degree %d", d))
 	}
-	for n := step; n <= maxN; n += step {
+	groups, err := forEachRow(maxN/step, func(i int) ([][]interface{}, error) {
+		n := step * (i + 1)
 		row := []interface{}{n}
 		for _, d := range degrees {
 			m, err := multitree.New(n, d, construction)
@@ -94,8 +95,12 @@ func Figure4(maxN, step int, degrees []int, construction multitree.Construction)
 			}
 			row = append(row, int(worst))
 		}
-		t.AddRow(row...)
+		return [][]interface{}{row}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addGroups(t, groups)
 	return t, nil
 }
 
@@ -120,13 +125,14 @@ func Table1(ns []int, d int) (*Table, error) {
 		}
 		return worst
 	}
-	for _, n := range ns {
+	groups, err := forEachRow(len(ns), func(i int) ([][]interface{}, error) {
+		n := ns[i]
 		s, res, err := multitreeResult(n, d, multitree.Greedy, core.PreRecorded)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(n, "multi-tree", int(res.WorstStartDelay()), res.AvgStartDelay(),
-			res.WorstBuffer(), maxNeighbors(s.Neighbors()))
+		rows := [][]interface{}{{n, "multi-tree", int(res.WorstStartDelay()), res.AvgStartDelay(),
+			res.WorstBuffer(), maxNeighbors(s.Neighbors())}}
 
 		// Nearest special size 2^k−1 <= n.
 		k := 1
@@ -138,23 +144,28 @@ func Table1(ns []int, d int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(special, "hypercube 2^k-1", int(hres.WorstStartDelay()), hres.AvgStartDelay(),
-			hres.WorstBuffer(), maxNeighbors(hs.Neighbors()))
+		rows = append(rows, []interface{}{special, "hypercube 2^k-1", int(hres.WorstStartDelay()),
+			hres.AvgStartDelay(), hres.WorstBuffer(), maxNeighbors(hs.Neighbors())})
 
 		ha, hares, err := hypercubeResult(n, 1)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(n, "hypercube chain", int(hares.WorstStartDelay()), hares.AvgStartDelay(),
-			hares.WorstBuffer(), maxNeighbors(ha.Neighbors()))
+		rows = append(rows, []interface{}{n, "hypercube chain", int(hares.WorstStartDelay()),
+			hares.AvgStartDelay(), hares.WorstBuffer(), maxNeighbors(ha.Neighbors())})
 
 		hg, hgres, err := hypercubeResult(n, d)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(n, fmt.Sprintf("hypercube d=%d", d), int(hgres.WorstStartDelay()),
-			hgres.AvgStartDelay(), hgres.WorstBuffer(), maxNeighbors(hg.Neighbors()))
+		rows = append(rows, []interface{}{n, fmt.Sprintf("hypercube d=%d", d), int(hgres.WorstStartDelay()),
+			hgres.AvgStartDelay(), hgres.WorstBuffer(), maxNeighbors(hg.Neighbors())})
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addGroups(t, groups)
 	return t, nil
 }
 
@@ -171,7 +182,8 @@ func ClusterExperiment(k, dd, d, clusterSize int, tcs []int) (*Table, error) {
 		},
 	}
 	h := analysis.TreeHeight(clusterSize, d)
-	for _, tc := range tcs {
+	groups, err := forEachRow(len(tcs), func(i int) ([][]interface{}, error) {
+		tc := tcs[i]
 		s, err := cluster.New(cluster.Config{
 			K: k, D: dd, Tc: core.Slot(tc), ClusterSize: clusterSize,
 			Degree: d, Intra: cluster.MultiTree, Construction: multitree.Greedy,
@@ -186,8 +198,12 @@ func ClusterExperiment(k, dd, d, clusterSize int, tcs []int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(tc, int(worst), avg, analysis.Theorem1Bound(k, dd, tc, 1, d, h))
+		return [][]interface{}{{tc, int(worst), avg, analysis.Theorem1Bound(k, dd, tc, 1, d, h)}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addGroups(t, groups)
 	return t, nil
 }
 
@@ -202,16 +218,22 @@ func DelayBounds(ns []int, degrees []int) (*Table, error) {
 			"N", "d", "worst measured", "thm2 bound h*d", "avg measured", "thm3 lower",
 		},
 	}
-	for _, n := range ns {
-		for _, d := range degrees {
-			_, res, err := multitreeResult(n, d, multitree.Greedy, core.PreRecorded)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(n, d, int(res.WorstStartDelay()), analysis.Theorem2Bound(n, d),
-				res.AvgStartDelay(), analysis.Theorem3LowerBound(n, d))
-		}
+	if len(degrees) == 0 {
+		return t, nil
 	}
+	groups, err := forEachRow(len(ns)*len(degrees), func(i int) ([][]interface{}, error) {
+		n, d := ns[i/len(degrees)], degrees[i%len(degrees)]
+		_, res, err := multitreeResult(n, d, multitree.Greedy, core.PreRecorded)
+		if err != nil {
+			return nil, err
+		}
+		return [][]interface{}{{n, d, int(res.WorstStartDelay()), analysis.Theorem2Bound(n, d),
+			res.AvgStartDelay(), analysis.Theorem3LowerBound(n, d)}}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	addGroups(t, groups)
 	return t, nil
 }
 
@@ -226,15 +248,20 @@ func HypercubeAvgDelay(ns []int) (*Table, error) {
 			"N", "cubes", "avg measured", "2*log2(N)", "worst measured", "sum dims",
 		},
 	}
-	for _, n := range ns {
+	groups, err := forEachRow(len(ns), func(i int) ([][]interface{}, error) {
+		n := ns[i]
 		s, res, err := hypercubeResult(n, 1)
 		if err != nil {
 			return nil, err
 		}
 		dims := s.CubeDims()[0]
-		t.AddRow(n, fmt.Sprintf("%v", dims), res.AvgStartDelay(), analysis.Theorem4Bound(n),
-			int(res.WorstStartDelay()), analysis.Proposition2WorstDelay(n))
+		return [][]interface{}{{n, fmt.Sprintf("%v", dims), res.AvgStartDelay(), analysis.Theorem4Bound(n),
+			int(res.WorstStartDelay()), analysis.Proposition2WorstDelay(n)}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addGroups(t, groups)
 	return t, nil
 }
 
@@ -251,7 +278,8 @@ func DegreeOptimization(ns []int, maxD int) (*Table, error) {
 		t.Columns = append(t.Columns, fmt.Sprintf("F(%d)", d))
 	}
 	t.Columns = append(t.Columns, "argmin F", "argmin measured")
-	for _, n := range ns {
+	groups, err := forEachRow(len(ns), func(i int) ([][]interface{}, error) {
+		n := ns[i]
 		row := []interface{}{n}
 		for d := 2; d <= maxD; d++ {
 			row = append(row, analysis.DegreeF(n, d))
@@ -275,8 +303,12 @@ func DegreeOptimization(ns []int, maxD int) (*Table, error) {
 			}
 		}
 		row = append(row, bestD)
-		t.AddRow(row...)
+		return [][]interface{}{row}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addGroups(t, groups)
 	return t, nil
 }
 
@@ -291,7 +323,8 @@ func Churn(n, d, ops int, seed int64) (*Table, error) {
 			"variant", "total swaps", "avg swaps/op", "max swaps/op", "max affected", "final N",
 		},
 	}
-	for _, lazy := range []bool{false, true} {
+	groups, err := forEachRow(2, func(v int) ([][]interface{}, error) {
+		lazy := v == 1
 		dy, err := multitree.NewDynamic(n, d, lazy)
 		if err != nil {
 			return nil, err
@@ -321,9 +354,13 @@ func Churn(n, d, ops int, seed int64) (*Table, error) {
 		if lazy {
 			name = "lazy"
 		}
-		t.AddRow(name, dy.TotalSwaps(), float64(dy.TotalSwaps())/float64(ops),
-			maxSwaps, maxAffected, dy.N())
+		return [][]interface{}{{name, dy.TotalSwaps(), float64(dy.TotalSwaps()) / float64(ops),
+			maxSwaps, maxAffected, dy.N()}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addGroups(t, groups)
 	return t, nil
 }
 
@@ -346,7 +383,8 @@ func Baselines(ns []int) (*Table, error) {
 		}
 		return worst
 	}
-	for _, n := range ns {
+	groups, err := forEachRow(len(ns), func(i int) ([][]interface{}, error) {
+		n := ns[i]
 		ch, err := baseline.NewChain(n)
 		if err != nil {
 			return nil, err
@@ -355,7 +393,7 @@ func Baselines(ns []int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(n, "chain", int(cres.WorstStartDelay()), cres.WorstBuffer(), maxNb(ch.Neighbors()), 1)
+		rows := [][]interface{}{{n, "chain", int(cres.WorstStartDelay()), cres.WorstBuffer(), maxNb(ch.Neighbors()), 1}}
 
 		st, err := baseline.NewSingleTree(n, 2)
 		if err != nil {
@@ -366,24 +404,29 @@ func Baselines(ns []int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(n, "single tree b=2", int(stres.WorstStartDelay()), stres.WorstBuffer(),
-			maxNb(st.Neighbors()), st.UploadFactor())
+		rows = append(rows, []interface{}{n, "single tree b=2", int(stres.WorstStartDelay()),
+			stres.WorstBuffer(), maxNb(st.Neighbors()), st.UploadFactor()})
 
 		for _, d := range []int{2, 3} {
 			s, res, err := multitreeResult(n, d, multitree.Greedy, core.PreRecorded)
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(n, fmt.Sprintf("multi-tree d=%d", d), int(res.WorstStartDelay()),
-				res.WorstBuffer(), maxNb(s.Neighbors()), 1)
+			rows = append(rows, []interface{}{n, fmt.Sprintf("multi-tree d=%d", d), int(res.WorstStartDelay()),
+				res.WorstBuffer(), maxNb(s.Neighbors()), 1})
 		}
 		hs, hres, err := hypercubeResult(n, 1)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(n, "hypercube chain", int(hres.WorstStartDelay()), hres.WorstBuffer(),
-			maxNb(hs.Neighbors()), 1)
+		rows = append(rows, []interface{}{n, "hypercube chain", int(hres.WorstStartDelay()),
+			hres.WorstBuffer(), maxNb(hs.Neighbors()), 1})
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addGroups(t, groups)
 	return t, nil
 }
 
@@ -398,14 +441,22 @@ func LiveModes(ns []int, d int) (*Table, error) {
 			"N", "mode", "worst delay", "avg delay", "max buffer",
 		},
 	}
-	for _, n := range ns {
+	groups, err := forEachRow(len(ns), func(i int) ([][]interface{}, error) {
+		n := ns[i]
+		var rows [][]interface{}
 		for _, mode := range []core.StreamMode{core.PreRecorded, core.Live, core.LivePreBuffered} {
 			_, res, err := multitreeResult(n, d, multitree.Greedy, mode)
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(n, mode.String(), int(res.WorstStartDelay()), res.AvgStartDelay(), res.WorstBuffer())
+			rows = append(rows, []interface{}{n, mode.String(), int(res.WorstStartDelay()),
+				res.AvgStartDelay(), res.WorstBuffer()})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addGroups(t, groups)
 	return t, nil
 }

@@ -139,6 +139,39 @@ func (s *Scheme) NumReceivers() int { return s.n }
 // SourceCapacity implements core.Scheme.
 func (s *Scheme) SourceCapacity() int { return s.d }
 
+// Period implements core.PeriodicScheme: each cube's pairing dimension
+// cycles with period k, so the whole chained schedule (including the
+// freed-sender chaining edges between consecutive cubes) repeats after the
+// least common multiple of all cube dimensions, with packet numbers advanced
+// by exactly that many slots.
+func (s *Scheme) Period() core.Slot {
+	p := 1
+	for _, chain := range s.groups {
+		for _, c := range chain {
+			p = lcm(p, c.k)
+		}
+	}
+	return core.Slot(p)
+}
+
+// SteadyState implements core.PeriodicScheme: a cube's spread window
+// [τ−k, τ−1] is clamped at its start (packets before injection do not
+// exist), so the pattern is periodic once every cube has been running for k
+// slots past its base.
+func (s *Scheme) SteadyState() core.Slot {
+	var w core.Slot
+	for _, chain := range s.groups {
+		for _, c := range chain {
+			if v := c.base + core.Slot(c.k); v > w {
+				w = v
+			}
+		}
+	}
+	return w
+}
+
+var _ core.PeriodicScheme = (*Scheme)(nil)
+
 // CubeDims returns, per group, the dimensions of the chained cubes — e.g.
 // N=11, d=1 yields [[3 1 1]].
 func (s *Scheme) CubeDims() [][]int {

@@ -8,7 +8,7 @@ import (
 	"testing"
 )
 
-// wantRe extracts `// want `...`` expectations from fixture sources. The
+// wantRe extracts `// want `...“ expectations from fixture sources. The
 // back-quoted payload is a regexp matched against the diagnostic message.
 var wantRe = regexp.MustCompile("// want `([^`]*)`")
 
@@ -106,3 +106,5 @@ func TestSlotTypesFixture(t *testing.T) { runFixture(t, "slottypes", SlotTypes) 
 func TestObsGuardFixture(t *testing.T) { runFixture(t, "obsguard", ObsGuard) }
 
 func TestCheckedErrFixture(t *testing.T) { runFixture(t, "checkederr", CheckedErr) }
+
+func TestHotAllocFixture(t *testing.T) { runFixture(t, "hotalloc", HotAlloc) }

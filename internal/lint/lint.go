@@ -165,6 +165,7 @@ func All() []*Analyzer {
 		SlotTypes,
 		ObsGuard,
 		CheckedErr,
+		HotAlloc,
 	}
 }
 

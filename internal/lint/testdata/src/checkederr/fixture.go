@@ -12,10 +12,10 @@ import (
 
 // Discards drops errors on the floor in every statement form.
 func Discards(f *os.File, v interface{}) {
-	json.Marshal(v)      // want `result of json\.Marshal contains an error that is discarded`
-	f.Close()            // want `result of f\.Close contains an error that is discarded`
-	defer f.Sync()       // want `result of f\.Sync contains an error that is discarded`
-	go f.Truncate(0)     // want `result of f\.Truncate contains an error that is discarded`
+	json.Marshal(v)  // want `result of json\.Marshal contains an error that is discarded`
+	f.Close()        // want `result of f\.Close contains an error that is discarded`
+	defer f.Sync()   // want `result of f\.Sync contains an error that is discarded`
+	go f.Truncate(0) // want `result of f\.Truncate contains an error that is discarded`
 }
 
 // Handled checks or assigns every error.

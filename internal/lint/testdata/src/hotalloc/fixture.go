@@ -1,0 +1,34 @@
+package hotalloc
+
+// step is on the hot path: both map allocations must be flagged.
+func step(n int) int {
+	seen := make(map[int]int, n)   // want `map allocated in hot-path function step`
+	flags := map[int]bool{1: true} // want `map literal allocated in hot-path function step`
+	for i := 0; i < n; i++ {
+		seen[i] = i
+	}
+	if flags[1] {
+		return len(seen)
+	}
+	return 0
+}
+
+// maxBuffer is hot but clean: slice scratch scans are the approved pattern.
+func maxBuffer(arrival []int, counts []int) int {
+	peak := 0
+	for _, a := range arrival {
+		counts[a]++
+	}
+	for t := range counts {
+		if counts[t] > peak {
+			peak = counts[t]
+		}
+		counts[t] = 0
+	}
+	return peak
+}
+
+// newEngine is not on the hot path: per-run map setup is allowed.
+func newEngine(n int) map[int][]int {
+	return make(map[int][]int, n)
+}

@@ -11,9 +11,9 @@ import (
 // Jitter draws from the global source and stamps wall-clock time — both
 // forbidden in engine code.
 func Jitter() (int, time.Time) {
-	n := rand.Intn(10)     // want `rand\.Intn uses the global, unseeded source`
-	now := time.Now()      // want `time\.Now reads the wall clock`
-	_ = time.Since(now)    // want `time\.Since reads the wall clock`
+	n := rand.Intn(10)                 // want `rand\.Intn uses the global, unseeded source`
+	now := time.Now()                  // want `time\.Now reads the wall clock`
+	_ = time.Since(now)                // want `time\.Since reads the wall clock`
 	rand.Shuffle(n, func(i, j int) {}) // want `rand\.Shuffle uses the global, unseeded source`
 	return n, now
 }

@@ -30,9 +30,13 @@ type Scheme struct {
 	// receives its round-0 packet under the canonical (pre-recorded)
 	// schedule.
 	firstRecv [][]core.Slot
+	// steady is the first slot from which the schedule is periodic: the
+	// latest round-0 receive slot over all real positions.
+	steady core.Slot
 }
 
 var _ core.Scheme = (*Scheme)(nil)
+var _ core.PeriodicScheme = (*Scheme)(nil)
 
 // NewScheme wraps a multi-tree family with a transmission schedule.
 func NewScheme(m *MultiTree, mode core.StreamMode) *Scheme {
@@ -42,10 +46,22 @@ func NewScheme(m *MultiTree, mode core.StreamMode) *Scheme {
 		s.firstRecv[k] = make([]core.Slot, m.NP)
 		for p := 1; p <= m.NP; p++ {
 			s.firstRecv[k][p-1] = s.firstRecvSlot(k, p)
+			if !m.IsDummy(m.Trees[k][p-1]) && s.firstRecv[k][p-1] > s.steady {
+				s.steady = s.firstRecv[k][p-1]
+			}
 		}
 	}
 	return s
 }
+
+// Period implements core.PeriodicScheme: one round of the round-robin
+// schedule spans d slots and advances every tree's packet number by d.
+func (s *Scheme) Period() core.Slot { return core.Slot(s.Tree.D) }
+
+// SteadyState implements core.PeriodicScheme: once every real position has
+// received its round-0 packet, position (k,p) fires exactly when
+// (t − firstRecv) mod d = 0, a pattern that repeats every d slots.
+func (s *Scheme) SteadyState() core.Slot { return s.steady }
 
 // virtualSourceSlot returns the slot at the end of which the source is
 // treated as "receiving" the round-0 packet of tree k. Every position's

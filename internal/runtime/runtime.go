@@ -118,6 +118,11 @@ func Execute(s core.Scheme, opt Options) (*Result, error) {
 	if opt.RecvCap <= 0 {
 		opt.RecvCap = 1
 	}
+	// Periodic schemes replay a compiled snapshot of one schedule period, so
+	// the per-slot driver reads precomputed transmissions.
+	if c := core.CompileForRun(s, opt.Slots); c != nil {
+		s = c
+	}
 	tr := opt.Transport
 	if tr == nil {
 		tr = NewChanTransport(n, opt.RecvCap+4)

@@ -178,19 +178,12 @@ func (r *Result) WorstBuffer() int {
 	return worst
 }
 
-// Run executes the scheme on the sequential engine.
+// Run executes the scheme on the sequential engine. Each call draws an
+// exclusively-owned Runner from an internal pool, so repeated runs reuse
+// engine scratch memory and compiled schedules; hold an explicit Runner to
+// control that reuse manually.
 func Run(s core.Scheme, opt Options) (*Result, error) {
-	e, err := newEngine(s, opt)
-	if err != nil {
-		return nil, err
-	}
-	for t := core.Slot(0); t < opt.Slots; t++ {
-		txs := s.Transmissions(t)
-		if err := e.step(t, txs); err != nil {
-			return nil, err
-		}
-	}
-	return e.finish()
+	return pooledRun(s, opt, false, 0)
 }
 
 // engine holds the mutable state of a run shared by the sequential and
@@ -201,18 +194,40 @@ type engine struct {
 	n       int
 	maxPkt  core.Packet // tracking bound for arrivals (window + slack)
 	arrival [][]core.Slot
-	sendCap CapacityFunc
-	recvCap CapacityFunc
-	latency LatencyFunc
+	sendCap CapacityFunc // custom only; nil when sendTab is active
+	recvCap CapacityFunc // custom only; nil when recvTab is active
+	latency LatencyFunc  // nil on the fast path (no latency, no injector)
+	sendTab []int        // precomputed default send capacities
+	recvTab []int        // precomputed default receive capacities
+	// fast marks a run with no LatencyFunc and no Injector: every link takes
+	// exactly 1 slot, so routing bypasses the inflight map entirely.
+	fast bool
 	// inflight[t] holds transmissions that arrive at the end of slot t,
-	// keyed by absolute slot. Only used when some latency exceeds 1.
+	// keyed by absolute slot. nil on the fast path.
 	inflight map[core.Slot][]core.Transmission
 	sent     []int // scratch: per-sender count within the current slot
 	received []int // scratch: per-receiver count within the arrival slot
+	sc       *scratch
 	obs      obs.Observer
 }
 
-func newEngine(s core.Scheme, opt Options) (*engine, error) {
+// grownSlots returns s resized to n, reusing its backing array when large
+// enough. Contents are unspecified; callers reset what they read.
+func grownSlots(s []core.Slot, n int) []core.Slot {
+	if cap(s) < n {
+		return make([]core.Slot, n)
+	}
+	return s[:n]
+}
+
+func grownInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func newEngine(s core.Scheme, opt Options, sc *scratch) (*engine, error) {
 	if opt.Slots <= 0 {
 		return nil, fmt.Errorf("slotsim: Slots must be > 0, got %d", opt.Slots)
 	}
@@ -224,51 +239,83 @@ func newEngine(s core.Scheme, opt Options) (*engine, error) {
 		return nil, fmt.Errorf("slotsim: scheme has %d receivers", n)
 	}
 	srcCap := s.SourceCapacity()
-	sendCap := opt.SendCap
-	if sendCap == nil {
-		sendCap = func(id core.NodeID) int {
-			if id == core.SourceID {
-				return srcCap
-			}
-			return 1
-		}
-	}
-	recvCap := opt.RecvCap
-	if recvCap == nil {
-		recvCap = func(core.NodeID) int { return 1 }
-	}
-	latency := opt.Latency
-	if latency == nil {
-		latency = func(core.NodeID, core.NodeID) core.Slot { return 1 }
-	}
 	// Track arrivals for every packet the source could emit in the
 	// simulated horizon, so availability checks work beyond the window.
 	maxPkt := core.Packet(int(opt.Slots)*srcCap + srcCap)
 	if maxPkt < opt.Packets {
 		maxPkt = opt.Packets
 	}
-	arrival := make([][]core.Slot, n+1)
-	backing := make([]core.Slot, (n+1)*int(maxPkt))
+	sc.backing = grownSlots(sc.backing, (n+1)*int(maxPkt))
+	backing := sc.backing
 	for i := range backing {
 		backing[i] = unset
 	}
+	if cap(sc.rows) < n+1 {
+		sc.rows = make([][]core.Slot, n+1)
+	}
+	arrival := sc.rows[:n+1]
 	for id := 0; id <= n; id++ {
 		arrival[id] = backing[id*int(maxPkt) : (id+1)*int(maxPkt)]
 	}
-	return &engine{
+	sc.sent = grownInts(sc.sent, n+1)
+	sc.received = grownInts(sc.received, n+1)
+	fast := opt.Latency == nil && opt.Inject == nil
+	sc.eng = engine{
 		scheme:   s,
 		opt:      opt,
 		n:        n,
 		maxPkt:   maxPkt,
 		arrival:  arrival,
-		sendCap:  sendCap,
-		recvCap:  recvCap,
-		latency:  latency,
-		inflight: make(map[core.Slot][]core.Transmission),
-		sent:     make([]int, n+1),
-		received: make([]int, n+1),
+		fast:     fast,
+		sent:     sc.sent,
+		received: sc.received,
+		sc:       sc,
 		obs:      opt.Observer,
-	}, nil
+	}
+	e := &sc.eng
+	if opt.SendCap != nil {
+		e.sendCap = opt.SendCap
+	} else {
+		sc.sendTab = grownInts(sc.sendTab, n+1)
+		sc.sendTab[0] = srcCap
+		for i := 1; i <= n; i++ {
+			sc.sendTab[i] = 1
+		}
+		e.sendTab = sc.sendTab
+	}
+	if opt.RecvCap != nil {
+		e.recvCap = opt.RecvCap
+	} else {
+		sc.recvTab = grownInts(sc.recvTab, n+1)
+		for i := 0; i <= n; i++ {
+			sc.recvTab[i] = 1
+		}
+		e.recvTab = sc.recvTab
+	}
+	if !fast {
+		e.latency = opt.Latency
+		if e.latency == nil {
+			e.latency = func(core.NodeID, core.NodeID) core.Slot { return 1 }
+		}
+		e.inflight = make(map[core.Slot][]core.Transmission)
+	}
+	return e, nil
+}
+
+// sendCapOf returns the per-slot send capacity of a (range-checked) node.
+func (e *engine) sendCapOf(id core.NodeID) int {
+	if e.sendTab != nil {
+		return e.sendTab[id]
+	}
+	return e.sendCap(id)
+}
+
+// recvCapOf returns the per-slot receive capacity of a (range-checked) node.
+func (e *engine) recvCapOf(id core.NodeID) int {
+	if e.recvTab != nil {
+		return e.recvTab[id]
+	}
+	return e.recvCap(id)
 }
 
 // observeFail forwards a violation to the observer before the run aborts.
@@ -318,7 +365,7 @@ func (e *engine) validateSends(t core.Slot, txs []core.Transmission) error {
 			return &Violation{t, "self transmission", tx}
 		}
 		e.sent[tx.From]++
-		if e.sent[tx.From] > e.sendCap(tx.From) {
+		if e.sent[tx.From] > e.sendCapOf(tx.From) {
 			return &Violation{t, "send capacity exceeded", tx}
 		}
 		if !e.holds(tx.From, tx.Packet, t) {
@@ -335,7 +382,7 @@ func (e *engine) deliver(t core.Slot, arrivals []core.Transmission) error {
 	}
 	for _, tx := range arrivals {
 		e.received[tx.To]++
-		if e.received[tx.To] > e.recvCap(tx.To) {
+		if e.received[tx.To] > e.recvCapOf(tx.To) {
 			return &Violation{t, "receive capacity exceeded", tx}
 		}
 		if e.isSource(tx.To) || tx.Packet >= e.maxPkt {
@@ -369,12 +416,13 @@ func (e *engine) filterUnavailable(t core.Slot, txs []core.Transmission) []core.
 	if !e.opt.SkipUnavailable {
 		return txs
 	}
-	kept := txs[:0:0]
+	kept := e.sc.filter[:0]
 	for _, tx := range txs {
 		if e.holds(tx.From, tx.Packet, t) {
 			kept = append(kept, tx)
 		}
 	}
+	e.sc.filter = kept
 	return kept
 }
 
@@ -389,6 +437,15 @@ func (e *engine) route(t core.Slot, txs []core.Transmission, sameSlot []core.Tra
 				e.obs.Drop(t, tx)
 			}
 			continue // lost in flight; send capacity already spent
+		}
+		if e.fast {
+			// No LatencyFunc and no Injector: every link takes one slot, so
+			// the transmission arrives at the end of this very slot.
+			if e.obs != nil {
+				e.obs.Transmit(t, tx)
+			}
+			sameSlot = append(sameSlot, tx)
+			continue
 		}
 		if e.opt.Inject != nil && e.opt.Inject.DropTx(tx, t) {
 			if e.obs != nil {
@@ -431,12 +488,12 @@ func (e *engine) step(t core.Slot, txs []core.Transmission) error {
 	if err := e.validateSends(t, txs); err != nil {
 		return e.observeFail(err)
 	}
-	sameSlot := e.inflight[t]
-	delete(e.inflight, t)
+	sameSlot := e.pendingArrivals(t)
 	sameSlot, err := e.route(t, txs, sameSlot)
 	if err != nil {
 		return err
 	}
+	e.sc.arrive = sameSlot // retain grown capacity for later slots
 	if err := e.deliver(t, sameSlot); err != nil {
 		return e.observeFail(err)
 	}
@@ -444,6 +501,19 @@ func (e *engine) step(t core.Slot, txs []core.Transmission) error {
 		e.obs.SlotEnd(t)
 	}
 	return nil
+}
+
+// pendingArrivals returns the slot's arrival list seeded with any in-flight
+// transmissions due at t, built on the reusable arrival scratch buffer.
+func (e *engine) pendingArrivals(t core.Slot) []core.Transmission {
+	sameSlot := e.sc.arrive[:0]
+	if e.inflight != nil {
+		if pend := e.inflight[t]; len(pend) > 0 {
+			sameSlot = append(sameSlot, pend...)
+			delete(e.inflight, t)
+		}
+	}
+	return sameSlot
 }
 
 // finish computes the Result after the last slot.
@@ -456,8 +526,19 @@ func (e *engine) finish() (*Result, error) {
 		MaxBuffer:  make([]int, e.n+1),
 		Missing:    make([]int, e.n+1),
 	}
+	// Copy arrival rows out of the reusable scratch backing: the Result must
+	// stay valid after the Runner's buffers are recycled for the next run.
+	np := int(e.opt.Packets)
+	out := make([]core.Slot, (e.n+1)*np)
 	for id := 0; id <= e.n; id++ {
-		r.Arrival[id] = e.arrival[id][:e.opt.Packets]
+		row := out[id*np : (id+1)*np : (id+1)*np]
+		copy(row, e.arrival[id][:np])
+		r.Arrival[id] = row
+	}
+	counts := grownInts(e.sc.counts, int(e.opt.Slots))
+	e.sc.counts = counts
+	for i := range counts {
+		counts[i] = 0
 	}
 	for id := 1; id <= e.n; id++ {
 		row := r.Arrival[id]
@@ -481,7 +562,7 @@ func (e *engine) finish() (*Result, error) {
 			worst = 0 // nothing arrived at all
 		}
 		r.StartDelay[id] = worst
-		r.MaxBuffer[id] = maxBuffer(row, r.StartDelay[id])
+		r.MaxBuffer[id] = maxBuffer(row, r.StartDelay[id], counts)
 	}
 	r.SlotsUsed++
 	return r, nil
@@ -494,21 +575,25 @@ func (e *engine) finish() (*Result, error) {
 // end of every slot, so a packet played during slot t still counts at the
 // end of t; this matches the paper's "store 2 packets" accounting for the
 // hypercube scheme (one being consumed plus one being disseminated).
-func maxBuffer(arrival []core.Slot, start core.Slot) int {
-	arrCount := make(map[core.Slot]int, len(arrival))
+//
+// counts is a caller-owned scratch slice, all zero on entry and indexable by
+// every arrival slot; maxBuffer re-zeroes each entry it touches, so the
+// slice is all zero again on return and reusable for the next node.
+func maxBuffer(arrival []core.Slot, start core.Slot, counts []int) int {
 	var lastSlot core.Slot
 	for _, a := range arrival {
 		if a == unset {
 			continue
 		}
-		arrCount[a]++
+		counts[a]++
 		if a > lastSlot {
 			lastSlot = a
 		}
 	}
 	peak, have := 0, 0
 	for t := core.Slot(0); t <= lastSlot; t++ {
-		have += arrCount[t]
+		have += counts[t]
+		counts[t] = 0
 		// Packets fully played (playback slot strictly before t) are gone.
 		played := int(t - start)
 		if played < 0 {

@@ -1,7 +1,6 @@
 package slotsim
 
 import (
-	"runtime"
 	"sort"
 	"sync"
 
@@ -21,22 +20,11 @@ import (
 // tests in internal/obs assert this byte for byte).
 //
 // workers <= 0 selects GOMAXPROCS.
+//
+// Like Run, each call draws an exclusively-owned Runner from the internal
+// pool for scratch and compiled-schedule reuse.
 func RunParallel(s core.Scheme, opt Options, workers int) (*Result, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	e, err := newEngine(s, opt)
-	if err != nil {
-		return nil, err
-	}
-	p := &parallelDriver{engine: e, workers: workers}
-	for t := core.Slot(0); t < opt.Slots; t++ {
-		txs := s.Transmissions(t)
-		if err := p.step(t, txs); err != nil {
-			return nil, err
-		}
-	}
-	return e.finish()
+	return pooledRun(s, opt, true, workers)
 }
 
 type parallelDriver struct {
@@ -68,12 +56,12 @@ func (p *parallelDriver) step(t core.Slot, txs []core.Transmission) error {
 	if err := p.validateSendsParallel(t, txs); err != nil {
 		return p.observeFail(err)
 	}
-	sameSlot := p.inflight[t]
-	delete(p.inflight, t)
+	sameSlot := p.pendingArrivals(t)
 	sameSlot, err := p.route(t, txs, sameSlot)
 	if err != nil {
 		return err
 	}
+	p.sc.arrive = sameSlot // retain grown capacity for later slots
 	if err := p.deliverParallel(t, sameSlot); err != nil {
 		return p.observeFail(err)
 	}
@@ -113,7 +101,7 @@ func (p *parallelDriver) validateSendsParallel(t core.Slot, txs []core.Transmiss
 					continue
 				}
 				p.sent[tx.From]++
-				if p.sent[tx.From] > p.sendCap(tx.From) {
+				if p.sent[tx.From] > p.sendCapOf(tx.From) {
 					ferr.report(i, &Violation{t, "send capacity exceeded", tx})
 					return
 				}
@@ -155,7 +143,7 @@ func (p *parallelDriver) deliverParallel(t core.Slot, arrivals []core.Transmissi
 					continue
 				}
 				p.received[tx.To]++
-				if p.received[tx.To] > p.recvCap(tx.To) {
+				if p.received[tx.To] > p.recvCapOf(tx.To) {
 					ferr.report(i, &Violation{t, "receive capacity exceeded", tx})
 					return
 				}

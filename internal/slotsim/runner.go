@@ -1,0 +1,149 @@
+package slotsim
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+
+	"streamcast/internal/core"
+)
+
+// scratch is the reusable allocation arena of one Runner: every buffer the
+// engine needs per run, grown on demand and recycled across runs. The
+// per-slot hot path (step/route/deliver/finish) allocates nothing; the
+// hotalloc streamvet analyzer machine-checks the map half of that invariant.
+type scratch struct {
+	backing  []core.Slot         // arrival matrix backing, reset to unset per run
+	rows     [][]core.Slot       // arrival row headers into backing
+	sent     []int               // per-sender count within the current slot
+	received []int               // per-receiver count within the arrival slot
+	sendTab  []int               // precomputed send capacities (default funcs only)
+	recvTab  []int               // precomputed receive capacities
+	counts   []int               // per-slot arrival counts for maxBuffer (kept zeroed)
+	filter   []core.Transmission // SkipUnavailable keep-list
+	arrive   []core.Transmission // same-slot arrival list
+	eng      engine              // engine state, reset per run
+}
+
+// compiledEntry caches the outcome of compiling one scheme: dst is the
+// compiled snapshot, or nil when compilation was attempted and failed (so
+// the Runner does not retry a scheme that cannot compile on every run).
+type compiledEntry struct {
+	src core.Scheme
+	dst core.Scheme
+}
+
+// Runner owns the engine's scratch memory and a small cache of compiled
+// schedules, so repeated runs — experiment sweeps, benchmarks, fault
+// corpora — reuse both instead of re-allocating and re-compiling. A Runner
+// is NOT safe for concurrent use (its compiled snapshots shift packet
+// numbers in place); use one Runner per goroutine, or the package-level
+// Run/RunParallel which draw exclusively-owned Runners from a sync.Pool.
+type Runner struct {
+	sc    scratch
+	cache [4]compiledEntry
+	next  int
+}
+
+// NewRunner returns an empty Runner; buffers grow on first use.
+func NewRunner() *Runner { return &Runner{} }
+
+// Run executes the scheme on the sequential engine, compiling its schedule
+// first when the scheme is periodic and the horizon makes it worthwhile.
+// The semantics and the Result are identical to the uncompiled path.
+func (r *Runner) Run(s core.Scheme, opt Options) (*Result, error) {
+	s = r.prepared(s, opt.Slots)
+	e, err := newEngine(s, opt, &r.sc)
+	if err != nil {
+		return nil, err
+	}
+	for t := core.Slot(0); t < opt.Slots; t++ {
+		if err := e.step(t, s.Transmissions(t)); err != nil {
+			return nil, err
+		}
+	}
+	return e.finish()
+}
+
+// RunParallel executes the scheme on the parallel engine (see the
+// package-level RunParallel for the sharding contract). workers <= 0
+// selects GOMAXPROCS.
+func (r *Runner) RunParallel(s core.Scheme, opt Options, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s = r.prepared(s, opt.Slots)
+	e, err := newEngine(s, opt, &r.sc)
+	if err != nil {
+		return nil, err
+	}
+	p := &parallelDriver{engine: e, workers: workers}
+	for t := core.Slot(0); t < opt.Slots; t++ {
+		if err := p.step(t, s.Transmissions(t)); err != nil {
+			return nil, err
+		}
+	}
+	return e.finish()
+}
+
+// prepared substitutes a compiled snapshot for a periodic scheme when the
+// one-time compile cost fits inside the run's own slot-generation budget,
+// caching outcomes (including failures) per scheme identity.
+func (r *Runner) prepared(s core.Scheme, horizon core.Slot) core.Scheme {
+	if _, ok := s.(*core.CompiledScheme); ok {
+		return s
+	}
+	t := reflect.TypeOf(s)
+	if t == nil || !t.Comparable() {
+		return s
+	}
+	for i := range r.cache {
+		if r.cache[i].src == s {
+			if r.cache[i].dst != nil {
+				return r.cache[i].dst
+			}
+			return s
+		}
+	}
+	ps, ok := s.(core.PeriodicScheme)
+	if !ok {
+		return s
+	}
+	p, w := ps.Period(), ps.SteadyState()
+	if p < 1 || w < 0 || w+2*p > horizon {
+		// Too short a horizon to amortize the compile this run; don't cache
+		// the decision — a later, longer run may still benefit.
+		return s
+	}
+	c := core.CompileSchedule(s)
+	ent := compiledEntry{src: s}
+	if c != nil {
+		ent.dst = c
+	}
+	r.cache[r.next] = ent
+	r.next = (r.next + 1) % len(r.cache)
+	if c == nil {
+		return s
+	}
+	return c
+}
+
+// runnerPool hands out exclusively-owned Runners to the package-level entry
+// points, so concurrent Run calls never share scratch or compiled snapshots.
+var runnerPool = sync.Pool{New: func() interface{} { return NewRunner() }}
+
+func pooledRun(s core.Scheme, opt Options, parallel bool, workers int) (*Result, error) {
+	r := runnerPool.Get().(*Runner)
+	var res *Result
+	var err error
+	if parallel {
+		res, err = r.RunParallel(s, opt, workers)
+	} else {
+		res, err = r.Run(s, opt)
+	}
+	// Drop the run's references (scheme, observer, hooks) before pooling so
+	// a parked Runner pins only its own scratch.
+	r.sc.eng = engine{}
+	runnerPool.Put(r)
+	return res, err
+}

@@ -1,0 +1,237 @@
+package slotsim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"streamcast/internal/baseline"
+	"streamcast/internal/cluster"
+	"streamcast/internal/core"
+	"streamcast/internal/hypercube"
+	"streamcast/internal/multitree"
+	"streamcast/internal/obs"
+	"streamcast/internal/slotsim"
+)
+
+// hidePeriodic wraps a scheme so that it no longer satisfies
+// core.PeriodicScheme: the Runner cannot compile it, forcing the uncompiled
+// reference path.
+type hidePeriodic struct {
+	inner core.Scheme
+}
+
+func (h hidePeriodic) Name() string        { return h.inner.Name() }
+func (h hidePeriodic) NumReceivers() int   { return h.inner.NumReceivers() }
+func (h hidePeriodic) SourceCapacity() int { return h.inner.SourceCapacity() }
+func (h hidePeriodic) Transmissions(t core.Slot) []core.Transmission {
+	return h.inner.Transmissions(t)
+}
+func (h hidePeriodic) Neighbors() map[core.NodeID][]core.NodeID { return h.inner.Neighbors() }
+
+// observedRun executes one run with full observation attached.
+func observedRun(s core.Scheme, opt slotsim.Options, parallel bool) (*slotsim.Result, *obs.Recorder, *obs.Metrics, error) {
+	rec, met := &obs.Recorder{}, obs.NewMetrics()
+	opt.Observer = obs.Combine(rec, met)
+	var res *slotsim.Result
+	var err error
+	if parallel {
+		res, err = slotsim.RunParallel(s, opt, 2)
+	} else {
+		res, err = slotsim.Run(s, opt)
+	}
+	return res, rec, met, err
+}
+
+// assertCompiledParity runs the scheme compiled (the engine's default for a
+// periodic scheme) and uncompiled (periodicity hidden) and requires
+// byte-identical Results, observer event streams, and metric fingerprints.
+// It fails the test if the scheme would not actually compile, so a parity
+// case can never silently degrade to comparing the slow path with itself.
+func assertCompiledParity(t *testing.T, name string, s core.Scheme, opt slotsim.Options) {
+	t.Helper()
+	if _, ok := s.(core.PeriodicScheme); !ok {
+		t.Fatalf("%s: scheme is not periodic; parity case is vacuous", name)
+	}
+	if c := core.CompileForRun(s, opt.Slots); c == nil {
+		t.Fatalf("%s: scheme does not compile at horizon %d; parity case is vacuous", name, opt.Slots)
+	}
+	for _, parallel := range []bool{false, true} {
+		resC, recC, metC, errC := observedRun(s, opt, parallel)
+		resU, recU, metU, errU := observedRun(hidePeriodic{inner: s}, opt, parallel)
+		if (errC == nil) != (errU == nil) {
+			t.Fatalf("%s (parallel=%v): acceptance differs: compiled %v, uncompiled %v", name, parallel, errC, errU)
+		}
+		if errC != nil {
+			if errC.Error() != errU.Error() {
+				t.Fatalf("%s (parallel=%v): errors differ: %q vs %q", name, parallel, errC, errU)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(resC, resU) {
+			t.Fatalf("%s (parallel=%v): Results differ between compiled and uncompiled runs", name, parallel)
+		}
+		if got, want := metC.Fingerprint(), metU.Fingerprint(); got != want {
+			t.Fatalf("%s (parallel=%v): fingerprints differ: compiled %s, uncompiled %s", name, parallel, got, want)
+		}
+		if !reflect.DeepEqual(recC.Events, recU.Events) {
+			la, lb := len(recC.Events), len(recU.Events)
+			for i := 0; i < la && i < lb; i++ {
+				if recC.Events[i] != recU.Events[i] {
+					t.Fatalf("%s (parallel=%v): event %d differs: compiled %s, uncompiled %s",
+						name, parallel, i, recC.Events[i], recU.Events[i])
+				}
+			}
+			t.Fatalf("%s (parallel=%v): event streams differ in length: %d vs %d", name, parallel, la, lb)
+		}
+	}
+}
+
+// multitreeCase builds a multitree scheme and a horizon spanning many
+// schedule periods.
+func multitreeCase(t *testing.T, n, d int, mode core.StreamMode) (core.Scheme, slotsim.Options) {
+	t.Helper()
+	m, err := multitree.New(n, d, multitree.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := multitree.NewScheme(m, mode)
+	win := core.Packet(4 * d)
+	return s, slotsim.Options{
+		Slots:   core.Slot(int(win)) + core.Slot(m.Height()*d+4*d+2),
+		Packets: win,
+		Mode:    mode,
+	}
+}
+
+// TestCompiledParityMultitree covers the three stream modes; the Live cases
+// exercise source-availability gating across many period boundaries (the
+// horizon spans >4 periods of length d past the warmup).
+func TestCompiledParityMultitree(t *testing.T) {
+	for _, mode := range []core.StreamMode{core.PreRecorded, core.Live, core.LivePreBuffered} {
+		s, opt := multitreeCase(t, 25, 3, mode)
+		assertCompiledParity(t, "multitree/"+mode.String(), s, opt)
+	}
+}
+
+func TestCompiledParityHypercube(t *testing.T) {
+	for _, n := range []int{7, 11} { // single cube, and a chain [3 1 1]
+		s, err := hypercube.New(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := slotsim.Options{Slots: 60, Packets: 8, Mode: core.Live}
+		assertCompiledParity(t, "hypercube", s, opt)
+	}
+}
+
+func TestCompiledParityBaselines(t *testing.T) {
+	ch, err := baseline.NewChain(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCompiledParity(t, "chain", ch,
+		slotsim.Options{Slots: 30, Packets: 6, Mode: core.Live})
+
+	st, err := baseline.NewSingleTree(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCompiledParity(t, "singletree", st,
+		slotsim.Options{Slots: 30, Packets: 6, Mode: core.Live, SendCap: st.SendCap})
+}
+
+// TestCompiledParityCluster runs the multi-cluster scheme with Tc > 1: the
+// backbone latency function keeps the engine off its fast path, so this case
+// covers compiled schedules feeding the inflight routing map.
+func TestCompiledParityCluster(t *testing.T) {
+	s, err := cluster.New(cluster.Config{
+		K: 3, D: 3, Tc: 2, ClusterSize: 8,
+		Degree: 2, Intra: cluster.MultiTree, Construction: multitree.Greedy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := s.Options(6, 30)
+	assertCompiledParity(t, "cluster/Tc=2", s, opt)
+}
+
+// parityInjector is a deterministic fault injector: verdicts are pure
+// functions of (tx, t), so compiled and uncompiled runs see identical
+// faults.
+type parityInjector struct{}
+
+func (parityInjector) DropTx(tx core.Transmission, t core.Slot) bool {
+	return (int(tx.From)+int(tx.To)+int(t))%11 == 0
+}
+
+func (parityInjector) DelayTx(tx core.Transmission, t core.Slot) core.Slot {
+	if (int(tx.To)+int(t))%13 == 0 {
+		return 2
+	}
+	return 0
+}
+
+// TestCompiledParityFaulted exercises the compiled path under structured
+// fault injection (drops and delays force the slow routing path) with
+// loss-cascade skipping enabled.
+func TestCompiledParityFaulted(t *testing.T) {
+	s, opt := multitreeCase(t, 25, 3, core.PreRecorded)
+	opt.Inject = parityInjector{}
+	opt.RecvCap = func(core.NodeID) int { return 2 } // headroom for delayed arrivals
+	opt.AllowIncomplete = true
+	opt.AllowDuplicates = true
+	opt.SkipUnavailable = true
+	assertCompiledParity(t, "multitree/faulted", s, opt)
+}
+
+// TestRunnerReuse runs different schemes back to back through one Runner:
+// scratch and the compiled cache must never leak state across runs.
+func TestRunnerReuse(t *testing.T) {
+	r := slotsim.NewRunner()
+	s1, opt1 := multitreeCase(t, 25, 3, core.PreRecorded)
+	s2, opt2 := multitreeCase(t, 10, 2, core.Live)
+	var first *slotsim.Result
+	for i := 0; i < 3; i++ {
+		res1, err := r.Run(s1, opt1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = res1
+		} else if !reflect.DeepEqual(first, res1) {
+			t.Fatalf("run %d: Result drifted across Runner reuse", i)
+		}
+		if _, err := r.Run(s2, opt2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Results must stay valid after the Runner's scratch was reused.
+	if first.Arrival[1][0] < 0 {
+		t.Fatal("first Result was corrupted by later runs reusing scratch")
+	}
+}
+
+// TestCompiledSchemeTooShortHorizon checks the compile gate: a horizon too
+// short to amortize compilation still runs (uncompiled) and matches the
+// reference.
+func TestCompiledSchemeTooShortHorizon(t *testing.T) {
+	ch, err := baseline.NewChain(20) // W=19, P=1: needs horizon >= 21
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := slotsim.Options{Slots: 20, Packets: 1, Mode: core.Live}
+	if c := core.CompileForRun(ch, opt.Slots); c != nil {
+		t.Fatal("gate failed: compiled although horizon cannot amortize")
+	}
+	res, err := slotsim.Run(ch, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := slotsim.Run(hidePeriodic{inner: ch}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Fatal("short-horizon run differs from reference")
+	}
+}
