@@ -1,11 +1,11 @@
 # Streamcast build/test entry points. Tier-1 verification (ROADMAP.md) is
 # `make ci`: build + vet + streamvet lint + full test suite, plus the race
-# pass over the engine and observability packages and a short fuzz smoke of
-# the fault-plan parser.
+# pass over the engine and observability packages, short fuzz smokes of the
+# fault-plan and scenario parsers, and the chaos/scenario corpus replays.
 
 GO ?= go
 
-.PHONY: build test race vet lint bench benchsmoke bench-json fuzz chaos ci clean
+.PHONY: build test race vet lint bench benchsmoke bench-json fuzz chaos scenarios ci clean
 
 build:
 	$(GO) build ./...
@@ -46,10 +46,12 @@ bench-json:
 	$(GO) test -bench . -benchtime $(BENCHTIME) -benchmem -run XXX . \
 		| $(GO) run ./cmd/benchdiff -write BENCH_$$(date +%Y-%m-%d).json
 
-# Short fuzz smoke over the fault-plan parser (FAULTS.md). CI keeps this
-# brief; crank -fuzztime for a real session.
+# Short fuzz smoke over the fault-plan parser (FAULTS.md) and the scenario
+# parser/formatter round trip (SCENARIOS.md). CI keeps these brief; crank
+# -fuzztime for a real session.
 fuzz:
 	$(GO) test -fuzz '^FuzzFaultPlan$$' -fuzztime 5s -run '^$$' ./internal/faults
+	$(GO) test -fuzz '^FuzzScenario$$' -fuzztime 5s -run '^$$' ./internal/spec
 
 # Replay the pinned fault corpus (internal/faults/testdata/corpus) and fail
 # on any fingerprint drift. Refresh intentionally with:
@@ -57,7 +59,15 @@ fuzz:
 chaos:
 	$(GO) test ./internal/faults -run 'TestChaosCorpus|TestCorpusPlansRoundTrip' -count=1 -v
 
-ci: build vet lint test race fuzz chaos benchsmoke
+# Replay the pinned scenario corpus (internal/spec/testdata/scenarios):
+# every corpus scenario must parse, stay canonical, build through the
+# registry, and reproduce its pinned result fingerprint; no construction
+# site may bypass the registry. Refresh fingerprints intentionally with:
+#   go test ./internal/spec -run TestScenarioCorpus -update
+scenarios:
+	$(GO) test ./internal/spec -run 'TestScenarioCorpus|TestCorpusScenariosCanonical|TestNoStrayConstruction' -count=1 -v
+
+ci: build vet lint test race fuzz chaos scenarios benchsmoke
 
 clean:
 	$(GO) clean ./...

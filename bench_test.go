@@ -13,12 +13,23 @@ import (
 	"streamcast/internal/core"
 	"streamcast/internal/experiments"
 	"streamcast/internal/graph"
-	"streamcast/internal/hypercube"
 	"streamcast/internal/multitree"
 	"streamcast/internal/obs"
 	rt "streamcast/internal/runtime"
 	"streamcast/internal/slotsim"
+	"streamcast/internal/spec"
 )
+
+// benchScheme resolves a scenario through the scheme registry; benchmarks
+// that need scheme-specific accessors type-assert the result.
+func benchScheme(b *testing.B, sc *spec.Scenario) core.Scheme {
+	b.Helper()
+	run, err := spec.Build(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return run.Scheme
+}
 
 // BenchmarkFig3Construction measures interior-disjoint tree construction
 // (the Figure 3 artifact) at several sizes.
@@ -27,6 +38,9 @@ func BenchmarkFig3Construction(b *testing.B) {
 		for _, n := range []int{15, 255, 2047} {
 			b.Run(fmt.Sprintf("%s/N=%d", c, n), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
+					// This benchmark measures the raw constructor, so it
+					// deliberately bypasses the registry.
+					//lint:ignore construction constructor throughput benchmark
 					if _, err := multitree.New(n, 3, c); err != nil {
 						b.Fatal(err)
 					}
@@ -70,11 +84,9 @@ func BenchmarkFig5HypercubeSteadyState(b *testing.B) {
 	for _, k := range []int{3, 7, 10} {
 		n := 1<<k - 1
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
-			s, err := hypercube.New(n, 1)
-			if err != nil {
-				b.Fatal(err)
-			}
+			s := benchScheme(b, spec.HypercubeScenario(n, 1))
 			var res *slotsim.Result
+			var err error
 			for i := 0; i < b.N; i++ {
 				res, err = slotsim.Run(s, slotsim.Options{
 					Slots:   core.Slot(4*k + 8),
@@ -221,13 +233,9 @@ func BenchmarkDisjointTreeSolver(b *testing.B) {
 // BenchmarkEngineSequentialVsParallel measures simulator throughput on a
 // large multi-tree (substrate micro-benchmark).
 func BenchmarkEngineSequentialVsParallel(b *testing.B) {
-	m, err := multitree.New(2000, 3, multitree.Greedy)
-	if err != nil {
-		b.Fatal(err)
-	}
-	s := multitree.NewScheme(m, core.PreRecorded)
+	s := benchScheme(b, spec.MultiTreeScenario(2000, 3, multitree.Greedy, core.PreRecorded)).(*multitree.Scheme)
 	opt := slotsim.Options{
-		Slots:   core.Slot(m.Height()*3 + 30),
+		Slots:   core.Slot(s.Tree.Height()*3 + 30),
 		Packets: 9,
 	}
 	b.Run("sequential", func(b *testing.B) {
@@ -252,13 +260,9 @@ func BenchmarkEngineSequentialVsParallel(b *testing.B) {
 // on the sequential engine: no observer (the fast path every pre-existing
 // caller stays on), the Metrics collector, and full event recording.
 func BenchmarkObserverOverhead(b *testing.B) {
-	m, err := multitree.New(2000, 3, multitree.Greedy)
-	if err != nil {
-		b.Fatal(err)
-	}
-	s := multitree.NewScheme(m, core.PreRecorded)
+	s := benchScheme(b, spec.MultiTreeScenario(2000, 3, multitree.Greedy, core.PreRecorded)).(*multitree.Scheme)
 	base := slotsim.Options{
-		Slots:   core.Slot(m.Height()*3 + 30),
+		Slots:   core.Slot(s.Tree.Height()*3 + 30),
 		Packets: 9,
 	}
 	b.Run("none", func(b *testing.B) {
@@ -290,20 +294,13 @@ func BenchmarkObserverOverhead(b *testing.B) {
 
 // BenchmarkScheduleGeneration measures raw schedule-emission throughput.
 func BenchmarkScheduleGeneration(b *testing.B) {
-	m, err := multitree.New(1000, 3, multitree.Greedy)
-	if err != nil {
-		b.Fatal(err)
-	}
-	s := multitree.NewScheme(m, core.PreRecorded)
+	s := benchScheme(b, spec.MultiTreeScenario(1000, 3, multitree.Greedy, core.PreRecorded))
 	b.Run("multitree-N1000", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			s.Transmissions(core.Slot(i % 64))
 		}
 	})
-	h, err := hypercube.New(1023, 1)
-	if err != nil {
-		b.Fatal(err)
-	}
+	h := benchScheme(b, spec.HypercubeScenario(1023, 1))
 	b.Run("hypercube-N1023", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			h.Transmissions(core.Slot(i%64) + 16)
@@ -349,12 +346,8 @@ func BenchmarkChurnImpact(b *testing.B) {
 // BenchmarkRuntimeExecution measures the concurrent goroutine runtime
 // (channel and net.Pipe transports) against the matrix engine's workload.
 func BenchmarkRuntimeExecution(b *testing.B) {
-	m, err := multitree.New(100, 3, multitree.Greedy)
-	if err != nil {
-		b.Fatal(err)
-	}
-	s := multitree.NewScheme(m, core.PreRecorded)
-	slots := core.Slot(m.Height()*3 + 30)
+	s := benchScheme(b, spec.MultiTreeScenario(100, 3, multitree.Greedy, core.PreRecorded)).(*multitree.Scheme)
+	slots := core.Slot(s.Tree.Height()*3 + 30)
 	b.Run("chan-transport", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := rt.Execute(s, rt.Options{Slots: slots, Packets: 9}); err != nil {
@@ -372,6 +365,22 @@ func BenchmarkRuntimeExecution(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkRegistryBuild measures scenario resolution through the scheme
+// registry — parameter parsing, validation, construction, and option
+// derivation — for every registered family.
+func BenchmarkRegistryBuild(b *testing.B) {
+	for _, f := range spec.Families() {
+		b.Run(f.Name, func(b *testing.B) {
+			sc := &spec.Scenario{Scheme: f.Name, Params: map[string]string{"n": "40"}}
+			for i := 0; i < b.N; i++ {
+				if _, err := spec.Build(sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkDynamicChurnOps measures raw add/delete throughput.

@@ -55,7 +55,15 @@ func main() {
 		faultsN = 24
 	}
 
+	schemesN := 40
+	if *quick {
+		schemesN = 16
+	}
+
 	all := []runner{
+		{"schemes", func() (*experiments.Table, error) {
+			return experiments.SchemeMatrix(schemesN)
+		}},
 		{"fig4", func() (*experiments.Table, error) {
 			return experiments.Figure4(fig4Max, fig4Step, []int{2, 3, 4, 5}, multitree.Greedy)
 		}},

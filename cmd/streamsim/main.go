@@ -2,18 +2,25 @@
 // simulator and reports its QoS metrics: per-scheme worst and average
 // playback delay, peak buffer occupancy, and neighbor counts.
 //
+// Every run is a spec.Scenario (see SCENARIOS.md): the flags are a thin
+// translation into one, and -scenario runs one straight from a file — the
+// two paths are byte-identical. -list-schemes prints the scheme registry
+// with every accepted parameter; a parameter the selected scheme would
+// silently ignore is a precise error, not a no-op.
+//
 // Examples:
 //
 //	streamsim -scheme multitree -n 100 -d 3 -construction greedy -mode live
 //	streamsim -scheme hypercube -n 100 -d 2
-//	streamsim -scheme chain -n 50
-//	streamsim -scheme singletree -n 50 -d 2
 //	streamsim -scheme cluster -n 20 -k 9 -D 3 -d 4 -tc 5
+//	streamsim -scheme session -n 50 -d 3 -swaps 20:4:9
+//	streamsim -scenario run.scn
+//	streamsim -list-schemes
 //
 // The -check flag runs the static schedule/mesh verifier (internal/check,
-// see STATIC_ANALYSIS.md) as a preflight: the run aborts with precise
-// diagnostics if the construction violates the paper's structural
-// invariants or closed-form bounds:
+// see STATIC_ANALYSIS.md) as a preflight; on families without a static
+// schedule (gossip, mdc, session) it fails fast instead of producing
+// spurious verifier output:
 //
 //	streamsim -scheme multitree -n 100 -d 3 -check
 //
@@ -39,298 +46,377 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 
-	"streamcast/internal/baseline"
-	chk "streamcast/internal/check"
 	"streamcast/internal/cluster"
 	"streamcast/internal/core"
-	"streamcast/internal/faults"
-	"streamcast/internal/gossip"
-	"streamcast/internal/hypercube"
-	"streamcast/internal/multitree"
+	"streamcast/internal/mdc"
 	"streamcast/internal/obs"
-	"streamcast/internal/runtime"
 	"streamcast/internal/slotsim"
+	"streamcast/internal/spec"
 )
 
+// cli holds the flag set and its value bindings so the flag→scenario
+// translation is testable against the -scenario path.
+type cli struct {
+	fs *flag.FlagSet
+
+	scenarioPath string
+	listSchemes  bool
+	pprofAddr    string
+
+	scheme       string
+	n            int
+	d            int
+	construction string
+	mode         string
+	packets      int
+	slots        int
+	k            int
+	dd           int
+	tc           int
+	intra        string
+	gossipDeg    int
+	strategy     string
+	seed         int64
+	swaps        string
+	rounds       int
+	doCheck      bool
+	parallel     bool
+	workers      int
+	engine       string
+	metricsOut   string
+	traceOut     string
+	reportOut    string
+	faultsPath   string
+	faultSeed    int64
+}
+
+// newCLI registers every flag on the given set. Defaults mirror the
+// registry's parameter defaults; only explicitly set flags reach the
+// scenario, so the registry rejects anything the scheme would ignore.
+func newCLI(fs *flag.FlagSet) *cli {
+	c := &cli{fs: fs}
+	fs.StringVar(&c.scenarioPath, "scenario", "", "run this scenario file (SCENARIOS.md) instead of the flag scenario")
+	fs.BoolVar(&c.listSchemes, "list-schemes", false, "print the scheme registry (families, parameters, capabilities) and exit")
+	fs.StringVar(&c.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
+
+	fs.StringVar(&c.scheme, "scheme", "multitree", "scheme family (see -list-schemes)")
+	fs.IntVar(&c.n, "n", 100, "number of receivers (per cluster for -scheme cluster)")
+	fs.IntVar(&c.d, "d", 3, "degree / source capacity d")
+	fs.StringVar(&c.construction, "construction", "greedy", "multi-tree construction: greedy | structured")
+	fs.StringVar(&c.mode, "mode", "prerecorded", "prerecorded | live | prebuffered")
+	fs.IntVar(&c.packets, "packets", 0, "measurement window in packets (0 = auto)")
+	fs.IntVar(&c.slots, "slots", 0, "total horizon in slots (0 = auto)")
+	fs.IntVar(&c.k, "k", 4, "clusters (cluster scheme)")
+	fs.IntVar(&c.dd, "D", 3, "backbone degree D (cluster scheme)")
+	fs.IntVar(&c.tc, "tc", 5, "inter-cluster latency Tc (cluster scheme)")
+	fs.StringVar(&c.intra, "intra", "multitree", "intra-cluster scheme: multitree | hypercube (cluster scheme)")
+	fs.IntVar(&c.gossipDeg, "gossip-degree", 5, "gossip neighbor-set size")
+	fs.StringVar(&c.strategy, "strategy", "pull-oldest", "gossip pull strategy: pull-oldest | pull-newest | pull-random")
+	fs.Int64Var(&c.seed, "seed", 1, "seed for the gossip mesh")
+	fs.StringVar(&c.swaps, "swaps", "", "mid-stream swaps slot:a:b[,...] (session scheme)")
+	fs.IntVar(&c.rounds, "rounds", 6, "MDC playback rounds (mdc scheme)")
+	fs.BoolVar(&c.doCheck, "check", false, "statically verify the schedule and mesh (internal/check) before running")
+	fs.BoolVar(&c.parallel, "parallel", false, "use the goroutine-parallel engine")
+	fs.IntVar(&c.workers, "workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
+	fs.StringVar(&c.engine, "engine", "slotsim", "slotsim | runtime (goroutine message passing)")
+	fs.StringVar(&c.metricsOut, "metrics-out", "", "write Prometheus-format metrics to this file ('-' for stdout)")
+	fs.StringVar(&c.traceOut, "trace-out", "", "write a JSONL event trace to this file ('-' for stdout)")
+	fs.StringVar(&c.reportOut, "report-out", "", "write a JSON run report to this file ('-' for stdout)")
+	fs.StringVar(&c.faultsPath, "faults", "", "replay this deterministic fault plan (see FAULTS.md)")
+	fs.Int64Var(&c.faultSeed, "fault-seed", 0, "override the fault plan's seed (0 = keep the plan's)")
+	return c
+}
+
+// paramFlags maps flag names to registry parameter names.
+var paramFlags = map[string]string{
+	"n": "n", "d": "d", "construction": "construction",
+	"k": "k", "D": "D", "tc": "tc", "intra": "intra",
+	"gossip-degree": "degree", "strategy": "strategy", "seed": "seed",
+	"swaps": "swaps", "rounds": "rounds",
+}
+
+// scenario translates the parsed flags into a spec.Scenario. Only flags
+// the user actually set become part of the scenario, so the registry's
+// validation applies to flag runs and scenario files identically.
+func (c *cli) scenario() (*spec.Scenario, error) {
+	sc := &spec.Scenario{Scheme: c.scheme}
+	var badFlag error
+	c.fs.Visit(func(f *flag.Flag) {
+		if param, ok := paramFlags[f.Name]; ok {
+			if sc.Params == nil {
+				sc.Params = map[string]string{}
+			}
+			sc.Params[param] = f.Value.String()
+			return
+		}
+		switch f.Name {
+		case "mode":
+			sc.Mode = c.mode
+		case "engine":
+			if c.engine != "slotsim" {
+				sc.Engine = c.engine
+			}
+		case "scenario", "list-schemes", "pprof", "scheme":
+			// handled outside the scenario
+		case "packets":
+			sc.Packets = c.packets
+		case "slots":
+			sc.Slots = c.slots
+		case "check":
+			sc.Check = c.doCheck
+		case "parallel":
+			sc.Parallel = c.parallel
+		case "workers":
+			sc.Workers = c.workers
+		case "metrics-out":
+			sc.MetricsOut = c.metricsOut
+		case "trace-out":
+			sc.TraceOut = c.traceOut
+		case "report-out":
+			sc.ReportOut = c.reportOut
+		case "faults":
+			sc.FaultsFile = c.faultsPath
+		case "fault-seed":
+			sc.FaultSeed = c.faultSeed
+		default:
+			badFlag = fmt.Errorf("flag -%s has no scenario mapping", f.Name)
+		}
+	})
+	if badFlag != nil {
+		return nil, badFlag
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
 func main() {
-	var (
-		schemeName   = flag.String("scheme", "multitree", "multitree | hypercube | chain | singletree | gossip | cluster")
-		n            = flag.Int("n", 100, "number of receivers (per cluster for -scheme cluster)")
-		d            = flag.Int("d", 3, "degree / source capacity d")
-		construction = flag.String("construction", "greedy", "multi-tree construction: greedy | structured")
-		modeName     = flag.String("mode", "prerecorded", "prerecorded | live | prebuffered")
-		packets      = flag.Int("packets", 0, "measurement window in packets (0 = auto)")
-		k            = flag.Int("k", 4, "clusters (cluster scheme)")
-		dd           = flag.Int("D", 3, "backbone degree D (cluster scheme)")
-		tc           = flag.Int("tc", 5, "inter-cluster latency Tc (cluster scheme)")
-		doCheck      = flag.Bool("check", false, "statically verify the schedule and mesh (internal/check) before running")
-		parallel     = flag.Bool("parallel", false, "use the goroutine-parallel engine")
-		workers      = flag.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
-		engineName   = flag.String("engine", "slotsim", "slotsim | runtime (goroutine message passing)")
-		seed         = flag.Int64("seed", 1, "seed for the gossip mesh")
-		gossipDeg    = flag.Int("gossip-degree", 5, "gossip neighbor-set size")
-		metricsOut   = flag.String("metrics-out", "", "write Prometheus-format metrics to this file ('-' for stdout)")
-		traceOut     = flag.String("trace-out", "", "write a JSONL event trace to this file ('-' for stdout)")
-		reportOut    = flag.String("report-out", "", "write a JSON run report to this file ('-' for stdout)")
-		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
-		faultsPath   = flag.String("faults", "", "replay this deterministic fault plan (see FAULTS.md)")
-		faultSeed    = flag.Int64("fault-seed", 0, "override the fault plan's seed (0 = keep the plan's)")
-	)
+	c := newCLI(flag.CommandLine)
 	flag.Parse()
 
-	if *pprofAddr != "" {
+	if c.listSchemes {
+		printSchemes(os.Stdout)
+		return
+	}
+
+	if c.pprofAddr != "" {
 		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := http.ListenAndServe(c.pprofAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "streamsim: pprof: %v\n", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "streamsim: pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
-	}
-
-	mode := core.PreRecorded
-	switch *modeName {
-	case "prerecorded":
-	case "live":
-		mode = core.Live
-	case "prebuffered":
-		mode = core.LivePreBuffered
-	default:
-		fatalf("unknown mode %q", *modeName)
-	}
-
-	constr := multitree.Greedy
-	switch *construction {
-	case "greedy":
-	case "structured":
-		constr = multitree.Structured
-	default:
-		fatalf("unknown construction %q", *construction)
-	}
-
-	if *engineName == "runtime" && (*metricsOut != "" || *traceOut != "" || *reportOut != "") {
-		fatalf("-metrics-out/-trace-out/-report-out require the slotsim engine (observability is a slotsim feature)")
-	}
-
-	var plan *faults.Plan
-	if *faultsPath != "" {
-		p, err := faults.Load(*faultsPath)
-		check(err)
-		if *faultSeed != 0 {
-			p.Seed = *faultSeed
-		}
-		plan = p
-		if len(plan.Churn) > 0 && *schemeName != "multitree" {
-			fatalf("churn events in %s require -scheme multitree (the dynamic family)", *faultsPath)
-		}
-	}
-
-	sk, observer := newSinks(*metricsOut, *traceOut, *reportOut)
-
-	if *schemeName == "cluster" {
-		runCluster(*k, *dd, *tc, *n, *d, constr, *doCheck, plan, sk, observer)
-		return
+		fmt.Fprintf(os.Stderr, "streamsim: pprof listening on http://%s/debug/pprof/\n", c.pprofAddr)
 	}
 
 	var (
-		scheme core.Scheme
-		opt    slotsim.Options
-		extra  core.Slot
-		// mkCheckOpt builds the -check preflight options once the
-		// measurement window is known; nil falls back to a generic audit
-		// derived from the engine options.
-		mkCheckOpt func(win core.Packet) chk.Options
+		sc  *spec.Scenario
+		err error
 	)
-	opt.Mode = mode
-	switch *schemeName {
-	case "multitree":
-		var m *multitree.MultiTree
-		if plan != nil && len(plan.Churn) > 0 {
-			// Replay the churn schedule through the dynamic family and
-			// stream the surviving snapshot — the repaired trees are what a
-			// post-churn deployment would actually run.
-			dy, err := multitree.NewDynamic(*n, *d, false)
-			check(err)
-			ops, err := faults.ApplyChurn(plan, dy)
-			check(err)
-			sum := faults.Summarize(ops, *d)
-			fmt.Fprintf(os.Stderr,
-				"streamsim: churn: %d ops, %d total swaps, worst op %d (bound d²+d = %d), %d members affected\n",
-				sum.Ops, sum.TotalSwaps, sum.MaxSwaps, sum.Bound, sum.Affected)
-			m, _ = dy.Snapshot()
-		} else {
-			var err error
-			m, err = multitree.New(*n, *d, constr)
-			check(err)
-		}
-		s := multitree.NewScheme(m, mode)
-		scheme = s
-		extra = core.Slot(m.Height()**d + 4**d + 2)
-		mkCheckOpt = func(win core.Packet) chk.Options { return chk.MultiTreeOptions(s, win) }
-	case "hypercube":
-		h, err := hypercube.New(*n, *d)
-		check(err)
-		scheme = h
-		opt.Mode = core.Live
-		lg := 1
-		for 1<<lg < *n+1 {
-			lg++
-		}
-		extra = core.Slot((lg+1)*(lg+1) + 4)
-		mkCheckOpt = func(win core.Packet) chk.Options { return chk.HypercubeOptions(h, win) }
-	case "chain":
-		c, err := baseline.NewChain(*n)
-		check(err)
-		scheme = c
-		extra = core.Slot(*n + 4)
-	case "singletree":
-		st, err := baseline.NewSingleTree(*n, *d)
-		check(err)
-		scheme = st
-		opt.SendCap = st.SendCap
-		extra = 40
-	case "gossip":
-		g, err := gossip.New(*n, *d, *gossipDeg, gossip.PullOldest, *seed)
-		check(err)
-		scheme = g
-		opt.Mode = core.Live
-		opt.AllowIncomplete = true
-		extra = core.Slot(12**n / *d + 100)
-	default:
-		fatalf("unknown scheme %q", *schemeName)
-	}
-
-	win := core.Packet(*packets)
-	if win == 0 {
-		win = core.Packet(4 * *d)
-	}
-	opt.Packets = win
-	opt.Slots = core.Slot(int(win)) + extra
-
-	var in *faults.Injector
-	if plan != nil {
-		var err error
-		in, err = faults.NewInjector(plan)
-		check(err)
-		opt = in.Apply(opt)
-		fmt.Fprintf(os.Stderr, "streamsim: faults: %s\n", in.Describe())
-	}
-
-	if *doCheck {
-		chkOpt := chk.Options{
-			Horizon: opt.Slots, Packets: win, Mode: opt.Mode,
-			SendCap: opt.SendCap, CheckMesh: true,
-			AllowIncomplete: opt.AllowIncomplete,
-		}
-		if mkCheckOpt != nil {
-			chkOpt = mkCheckOpt(win)
-		}
-		preflight(scheme, chkOpt)
-	}
-
-	if *engineName == "runtime" {
-		ropt := runtime.Options{Slots: opt.Slots, Packets: opt.Packets, Mode: opt.Mode}
-		if in != nil {
-			// The runtime sees the same fault plan through its transport:
-			// the wrapper applies the identical per-frame verdict coins.
-			rcap := 1
-			if plan.HasDelay() {
-				rcap = 32 // delayed frames land beside the scheduled ones
+	if c.scenarioPath != "" {
+		anyFlagScenario := false
+		c.fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "scenario", "pprof":
+			default:
+				anyFlagScenario = true
 			}
-			ropt.RecvCap = rcap
-			ropt.Transport = runtime.NewFaultTransport(
-				runtime.NewChanTransport(scheme.NumReceivers(), rcap+4), in)
-			ropt.AllowIncomplete = true
-			ropt.SkipUnavailable = true
+		})
+		if anyFlagScenario {
+			fatalf("-scenario replaces the flag scenario; drop the other flags or fold them into %s", c.scenarioPath)
 		}
-		rres, err := runtime.Execute(scheme, ropt)
-		check(err)
-		fmt.Printf("scheme:        %s (goroutine runtime)\n", scheme.Name())
-		fmt.Printf("receivers:     %d\n", scheme.NumReceivers())
-		fmt.Printf("worst delay:   %d slots\n", rres.WorstStart())
-		fmt.Printf("worst buffer:  %d packets\n", rres.WorstBuffer())
-		fmt.Printf("warmup rebuf:  %d\n", rres.TotalHiccups())
-		if in != nil {
-			// Played keeps counting past the verification window while the
-			// stream continues, so report window completion, not raw totals.
-			complete := 0
-			for id := 1; id <= scheme.NumReceivers(); id++ {
-				if rres.Reports[id].Played >= int(opt.Packets) {
-					complete++
-				}
+		sc, err = spec.Load(c.scenarioPath)
+	} else {
+		sc, err = c.scenario()
+	}
+	check(err)
+	check(runScenario(sc, os.Stdout, os.Stderr))
+}
+
+// printSchemes renders the registry: one block per family with its
+// capability flags and accepted parameters.
+func printSchemes(w io.Writer) {
+	for _, f := range spec.Families() {
+		var caps []string
+		if f.Caps.StaticCheck {
+			caps = append(caps, "checkable")
+		}
+		if f.Caps.Periodic {
+			caps = append(caps, "periodic")
+		}
+		if f.Caps.BestEffort {
+			caps = append(caps, "best-effort")
+		}
+		if f.Caps.Churn {
+			caps = append(caps, "churn")
+		}
+		fmt.Fprintf(w, "%-12s %s\n", f.Name, f.Doc)
+		if len(caps) > 0 {
+			fmt.Fprintf(w, "             capabilities: %v\n", caps)
+		}
+		for _, p := range f.Params {
+			def := p.Def
+			if def == "" {
+				def = `""`
 			}
-			fmt.Printf("faulted:       %d of %d nodes played the full %d-packet window\n",
-				complete, scheme.NumReceivers(), opt.Packets)
+			fmt.Fprintf(w, "             -%s (default %s): %s\n", flagName(p.Name), def, p.Doc)
 		}
-		return
+	}
+}
+
+// flagName maps a registry parameter name back to its streamsim flag.
+func flagName(param string) string {
+	for fl, p := range paramFlags {
+		if p == param {
+			return fl
+		}
+	}
+	return param
+}
+
+// runScenario builds and executes one scenario, writing the human report
+// to stdout and the progress/diagnostic lines to stderr — the single path
+// behind both the flag and -scenario invocations.
+func runScenario(sc *spec.Scenario, stdout, stderr io.Writer) error {
+	run, err := spec.Build(sc)
+	if err != nil {
+		return err
+	}
+	if sum := run.Churn; sum != nil {
+		fmt.Fprintf(stderr,
+			"streamsim: churn: %d ops, %d total swaps, worst op %d (bound d²+d = %d), %d members affected\n",
+			sum.Ops, sum.TotalSwaps, sum.MaxSwaps, sum.Bound, sum.Affected)
+	}
+	if run.Injector != nil {
+		fmt.Fprintf(stderr, "streamsim: faults: %s\n", run.Injector.Describe())
+	}
+	if sc.Check {
+		rep, err := run.Preflight()
+		if err != nil {
+			return err
+		}
+		if !rep.OK() {
+			for _, is := range rep.Issues {
+				fmt.Fprintf(stderr, "streamsim: check: %s\n", is)
+			}
+			return fmt.Errorf("static check rejected %s (%d issues)", rep.Scheme, len(rep.Issues))
+		}
+		fmt.Fprintf(stderr, "streamsim: check: %s ok (worst delay %d, worst buffer %d)\n",
+			rep.Scheme, rep.WorstDelay, rep.WorstBuffer)
 	}
 
+	if sc.Engine == "runtime" {
+		return runOnRuntime(run, stdout)
+	}
+
+	sk, observer, err := newSinks(sc.MetricsOut, sc.TraceOut, sc.ReportOut)
+	if err != nil {
+		return err
+	}
+	opt := run.Opt
 	opt.Observer = observer
 	var (
 		res *slotsim.Result
-		err error
 		wk  int
 	)
-	if *parallel {
-		wk = *workers
-		res, err = slotsim.RunParallel(scheme, opt, *workers)
+	if sc.Parallel {
+		wk = sc.Workers
+		res, err = slotsim.RunParallel(run.Scheme, opt, sc.Workers)
 	} else {
-		res, err = slotsim.Run(scheme, opt)
+		res, err = slotsim.Run(run.Scheme, opt)
 	}
-	check(err)
-	report(scheme, res)
-	if in != nil {
+	if err != nil {
+		return err
+	}
+	report(run, res, stdout)
+	return sk.finish(run.Scheme, opt, res, wk)
+}
+
+// runOnRuntime executes the scenario on the goroutine message-passing
+// runtime and prints its report shape.
+func runOnRuntime(run *spec.Run, stdout io.Writer) error {
+	rres, err := run.ExecuteRuntime()
+	if err != nil {
+		return err
+	}
+	s := run.Scheme
+	fmt.Fprintf(stdout, "scheme:        %s (goroutine runtime)\n", s.Name())
+	fmt.Fprintf(stdout, "receivers:     %d\n", s.NumReceivers())
+	fmt.Fprintf(stdout, "worst delay:   %d slots\n", rres.WorstStart())
+	fmt.Fprintf(stdout, "worst buffer:  %d packets\n", rres.WorstBuffer())
+	fmt.Fprintf(stdout, "warmup rebuf:  %d\n", rres.TotalHiccups())
+	if run.Injector != nil {
+		// Played keeps counting past the verification window while the
+		// stream continues, so report window completion, not raw totals.
+		complete := 0
+		for id := 1; id <= s.NumReceivers(); id++ {
+			if rres.Reports[id].Played >= int(run.Opt.Packets) {
+				complete++
+			}
+		}
+		fmt.Fprintf(stdout, "faulted:       %d of %d nodes played the full %d-packet window\n",
+			complete, s.NumReceivers(), run.Opt.Packets)
+	}
+	return nil
+}
+
+// report prints the slotsim result: the generic shape for most families,
+// the receivers-only shape for cluster (its delay statistics exclude the
+// backbone infrastructure nodes), and the quality lines for mdc.
+func report(run *spec.Run, res *slotsim.Result, w io.Writer) {
+	s := run.Scheme
+	if cs, ok := s.(*cluster.Scheme); ok {
+		cfg := cs.Config()
+		var worst core.Slot
+		var sum float64
+		ids := cs.ReceiverIDs()
+		for _, id := range ids {
+			if sd := res.StartDelay[id]; sd > worst {
+				worst = sd
+			}
+			sum += float64(res.StartDelay[id])
+		}
+		fmt.Fprintf(w, "scheme:        %s\n", s.Name())
+		fmt.Fprintf(w, "receivers:     %d (over %d clusters)\n", len(ids), cfg.K)
+		fmt.Fprintf(w, "worst delay:   %d slots (receivers only)\n", worst)
+		fmt.Fprintf(w, "avg delay:     %.2f slots (receivers only)\n", sum/float64(len(ids)))
+		fmt.Fprintf(w, "worst buffer:  %d packets\n", res.WorstBuffer())
+		fmt.Fprintf(w, "slots used:    %d\n", res.SlotsUsed)
+		return
+	}
+	fmt.Fprintf(w, "scheme:        %s\n", s.Name())
+	fmt.Fprintf(w, "receivers:     %d\n", s.NumReceivers())
+	fmt.Fprintf(w, "worst delay:   %d slots\n", res.WorstStartDelay())
+	fmt.Fprintf(w, "avg delay:     %.2f slots\n", res.AvgStartDelay())
+	fmt.Fprintf(w, "worst buffer:  %d packets\n", res.WorstBuffer())
+	maxNb := 0
+	for _, nb := range s.Neighbors() {
+		if len(nb) > maxNb {
+			maxNb = len(nb)
+		}
+	}
+	fmt.Fprintf(w, "max neighbors: %d\n", maxNb)
+	fmt.Fprintf(w, "slots used:    %d\n", res.SlotsUsed)
+	if d := run.Descriptions(); d > 0 {
+		mean, worst := mdc.SystemQuality(res, d)
+		fmt.Fprintf(w, "mdc quality:   %.3f mean, %.3f worst node (%d descriptions)\n", mean, worst, d)
+	}
+	if run.Injector != nil {
 		degraded, missing := 0, 0
-		for id := 1; id <= scheme.NumReceivers(); id++ {
+		for id := 1; id <= s.NumReceivers(); id++ {
 			if res.Missing[id] > 0 {
 				degraded++
 				missing += res.Missing[id]
 			}
 		}
-		fmt.Printf("faulted:       %d of %d nodes missing packets (%d packets total)\n",
-			degraded, scheme.NumReceivers(), missing)
+		fmt.Fprintf(w, "faulted:       %d of %d nodes missing packets (%d packets total)\n",
+			degraded, s.NumReceivers(), missing)
 	}
-	sk.finish(scheme, opt, res, wk)
-}
-
-func runCluster(k, dd, tc, n, d int, constr multitree.Construction, doCheck bool, plan *faults.Plan, sk *sinks, observer obs.Observer) {
-	s, err := cluster.New(cluster.Config{
-		K: k, D: dd, Tc: core.Slot(tc), ClusterSize: n,
-		Degree: d, Intra: cluster.MultiTree, Construction: constr,
-	})
-	check(err)
-	if doCheck {
-		preflight(s, chk.ClusterOptions(s, core.Packet(3*d), core.Slot(40+8*d)))
-	}
-	opt := s.Options(core.Packet(3*d), core.Slot(40+8*d))
-	if plan != nil {
-		in, err := faults.NewInjector(plan)
-		check(err)
-		opt = in.Apply(opt)
-		fmt.Fprintf(os.Stderr, "streamsim: faults: %s\n", in.Describe())
-	}
-	opt.Observer = observer
-	res, err := slotsim.Run(s, opt)
-	check(err)
-	var worst core.Slot
-	var sum float64
-	ids := s.ReceiverIDs()
-	for _, id := range ids {
-		if sd := res.StartDelay[id]; sd > worst {
-			worst = sd
-		}
-		sum += float64(res.StartDelay[id])
-	}
-	fmt.Printf("scheme:        %s\n", s.Name())
-	fmt.Printf("receivers:     %d (over %d clusters)\n", k*n, k)
-	fmt.Printf("worst delay:   %d slots (receivers only)\n", worst)
-	fmt.Printf("avg delay:     %.2f slots (receivers only)\n", sum/float64(len(ids)))
-	fmt.Printf("worst buffer:  %d packets\n", res.WorstBuffer())
-	fmt.Printf("slots used:    %d\n", res.SlotsUsed)
-	sk.finish(s, opt, res, 0)
 }
 
 // sinks bundles the CLI's observability outputs: where to write Prometheus
@@ -347,90 +433,78 @@ type sinks struct {
 // before a long simulation, not after — and returns the combined observer
 // to attach to the engine (nil when no observability flag was given,
 // preserving the engine's no-observer fast path).
-func newSinks(metricsOut, traceOut, reportOut string) (*sinks, obs.Observer) {
+func newSinks(metricsOut, traceOut, reportOut string) (*sinks, obs.Observer, error) {
 	sk := &sinks{}
 	var list []obs.Observer
 	if metricsOut != "" || reportOut != "" {
 		sk.metrics = obs.NewMetrics()
 		list = append(list, sk.metrics)
 	}
+	var err error
 	if metricsOut != "" {
-		sk.metricsFile = openOut(metricsOut)
+		if sk.metricsFile, err = openOut(metricsOut); err != nil {
+			return nil, nil, err
+		}
 	}
 	if reportOut != "" {
-		sk.reportFile = openOut(reportOut)
+		if sk.reportFile, err = openOut(reportOut); err != nil {
+			return nil, nil, err
+		}
 	}
 	if traceOut != "" {
-		sk.traceFile = openOut(traceOut)
+		if sk.traceFile, err = openOut(traceOut); err != nil {
+			return nil, nil, err
+		}
 		sk.trace = obs.NewJSONLWriter(sk.traceFile)
 		list = append(list, sk.trace)
 	}
-	return sk, obs.Combine(list...)
+	return sk, obs.Combine(list...), nil
 }
 
 // finish flushes and writes every requested output for a completed run.
-func (sk *sinks) finish(s core.Scheme, opt slotsim.Options, res *slotsim.Result, workers int) {
+func (sk *sinks) finish(s core.Scheme, opt slotsim.Options, res *slotsim.Result, workers int) error {
 	if sk.trace != nil {
-		check(sk.trace.Flush())
-		closeOut(sk.traceFile)
+		if err := sk.trace.Flush(); err != nil {
+			return err
+		}
+		if err := closeOut(sk.traceFile); err != nil {
+			return err
+		}
 	}
 	if sk.metricsFile != nil {
-		check(sk.metrics.WriteProm(sk.metricsFile, s.Name()))
-		closeOut(sk.metricsFile)
+		if err := sk.metrics.WriteProm(sk.metricsFile, s.Name()); err != nil {
+			return err
+		}
+		if err := closeOut(sk.metricsFile); err != nil {
+			return err
+		}
 	}
 	if sk.reportFile != nil {
 		rep := slotsim.BuildReport(s, opt, res, sk.metrics, workers)
-		check(rep.WriteJSON(sk.reportFile))
-		closeOut(sk.reportFile)
+		if err := rep.WriteJSON(sk.reportFile); err != nil {
+			return err
+		}
+		if err := closeOut(sk.reportFile); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // openOut opens an output path for writing, treating "-" as stdout.
-func openOut(path string) *os.File {
+func openOut(path string) (*os.File, error) {
 	if path == "-" {
-		return os.Stdout
+		return os.Stdout, nil
 	}
-	f, err := os.Create(path)
-	check(err)
-	return f
+	return os.Create(path)
 }
 
 // closeOut closes an output opened by openOut, leaving stdout alone.
-func closeOut(f *os.File) {
+func closeOut(f *os.File) error {
 	if f != os.Stdout {
-		check(f.Close())
+		return f.Close()
 	}
-}
-
-func report(s core.Scheme, res *slotsim.Result) {
-	fmt.Printf("scheme:        %s\n", s.Name())
-	fmt.Printf("receivers:     %d\n", s.NumReceivers())
-	fmt.Printf("worst delay:   %d slots\n", res.WorstStartDelay())
-	fmt.Printf("avg delay:     %.2f slots\n", res.AvgStartDelay())
-	fmt.Printf("worst buffer:  %d packets\n", res.WorstBuffer())
-	maxNb := 0
-	for _, nb := range s.Neighbors() {
-		if len(nb) > maxNb {
-			maxNb = len(nb)
-		}
-	}
-	fmt.Printf("max neighbors: %d\n", maxNb)
-	fmt.Printf("slots used:    %d\n", res.SlotsUsed)
-}
-
-// preflight runs the static schedule/mesh verifier and aborts with every
-// diagnostic when the construction is rejected.
-func preflight(s core.Scheme, opt chk.Options) {
-	rep, err := chk.Static(s, opt)
-	check(err)
-	if !rep.OK() {
-		for _, is := range rep.Issues {
-			fmt.Fprintf(os.Stderr, "streamsim: check: %s\n", is)
-		}
-		fatalf("static check rejected %s (%d issues)", rep.Scheme, len(rep.Issues))
-	}
-	fmt.Fprintf(os.Stderr, "streamsim: check: %s ok (worst delay %d, worst buffer %d)\n",
-		rep.Scheme, rep.WorstDelay, rep.WorstBuffer)
+	return nil
 }
 
 func check(err error) {

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"streamcast/internal/obs"
+	"streamcast/internal/slotsim"
+	"streamcast/internal/spec"
+)
+
+// flagCases gives one representative flag invocation per registered
+// scheme family; TestFlagVsScenarioParity fails if a family has no case,
+// so a newly registered scheme must be added here and is then covered
+// automatically.
+var flagCases = map[string][]string{
+	"multitree":  {"-scheme", "multitree", "-n", "40", "-d", "3", "-construction", "structured", "-mode", "live"},
+	"hypercube":  {"-scheme", "hypercube", "-n", "31", "-d", "1"},
+	"chain":      {"-scheme", "chain", "-n", "25"},
+	"singletree": {"-scheme", "singletree", "-n", "30", "-d", "2", "-mode", "prebuffered"},
+	"cluster":    {"-scheme", "cluster", "-k", "4", "-D", "3", "-tc", "3", "-n", "10", "-d", "2"},
+	"gossip":     {"-scheme", "gossip", "-n", "24", "-d", "3", "-gossip-degree", "4", "-seed", "9"},
+	"mdc":        {"-scheme", "mdc", "-n", "20", "-d", "2", "-rounds", "4"},
+	"session":    {"-scheme", "session", "-n", "20", "-d", "2", "-swaps", "12:5:9"},
+}
+
+// translate parses args through the CLI flag set and translates them into
+// a scenario.
+func translate(t *testing.T, args []string) *spec.Scenario {
+	t.Helper()
+	c := newCLI(flag.NewFlagSet("streamsim", flag.ContinueOnError))
+	if err := c.fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := c.scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// capture runs one scenario and returns its stdout bytes.
+func capture(t *testing.T, sc *spec.Scenario) []byte {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	if err := runScenario(sc, &out, &errOut); err != nil {
+		t.Fatalf("runScenario: %v (stderr: %s)", err, errOut.String())
+	}
+	return out.Bytes()
+}
+
+// fingerprint builds the scenario and runs it with a metrics observer,
+// returning the event-stream fingerprint.
+func fingerprint(t *testing.T, sc *spec.Scenario) string {
+	t.Helper()
+	run, err := spec.Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := obs.NewMetrics()
+	opt := run.Opt
+	opt.Observer = met
+	if _, err := slotsim.Run(run.Scheme, opt); err != nil {
+		t.Fatal(err)
+	}
+	return met.Fingerprint()
+}
+
+// TestFlagVsScenarioParity pins the acceptance criterion: for every
+// registered scheme, the flag path and the -scenario path produce the
+// same Scenario value, byte-identical stdout, and identical obs
+// event-stream fingerprints.
+func TestFlagVsScenarioParity(t *testing.T) {
+	for _, f := range spec.Families() {
+		args, ok := flagCases[f.Name]
+		if !ok {
+			t.Errorf("family %q has no flag case; add one to cover the new scheme", f.Name)
+			continue
+		}
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			fromFlags := translate(t, args)
+
+			path := filepath.Join(t.TempDir(), "run.scn")
+			if err := os.WriteFile(path, []byte(fromFlags.Format()), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			fromFile, err := spec.Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fromFlags, fromFile) {
+				t.Fatalf("flag and scenario paths disagree:\nflags: %+v\nfile:  %+v", fromFlags, fromFile)
+			}
+
+			outA := capture(t, fromFlags)
+			outB := capture(t, fromFile)
+			if !bytes.Equal(outA, outB) {
+				t.Errorf("stdout differs:\n-- flags --\n%s-- scenario --\n%s", outA, outB)
+			}
+			if fpA, fpB := fingerprint(t, fromFlags), fingerprint(t, fromFile); fpA != fpB {
+				t.Errorf("fingerprints differ: %s vs %s", fpA, fpB)
+			}
+		})
+	}
+}
+
+// TestFlagTranslationOnlyExplicit checks that defaults never leak into
+// the scenario: an unset flag must not become a parameter, so registry
+// validation sees exactly what the user typed.
+func TestFlagTranslationOnlyExplicit(t *testing.T) {
+	sc := translate(t, []string{"-scheme", "hypercube"})
+	if len(sc.Params) != 0 {
+		t.Fatalf("unset flags leaked into params: %+v", sc.Params)
+	}
+	if sc.Mode != "" || sc.Engine != "" || sc.Packets != 0 {
+		t.Fatalf("unset flags leaked into scenario: %+v", sc)
+	}
+
+	// The satellite regressions: these were silently ignored before.
+	c := newCLI(flag.NewFlagSet("streamsim", flag.ContinueOnError))
+	if err := c.fs.Parse([]string{"-scheme", "hypercube", "-construction", "structured"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.scenario(); err == nil {
+		t.Error("-scheme hypercube -construction structured accepted")
+	}
+	c = newCLI(flag.NewFlagSet("streamsim", flag.ContinueOnError))
+	if err := c.fs.Parse([]string{"-tc", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.scenario(); err == nil {
+		t.Error("-tc 5 without -scheme cluster accepted")
+	}
+}
+
+// TestRuntimeEngineParity checks the runtime path is reachable from both
+// invocation styles with identical output.
+func TestRuntimeEngineParity(t *testing.T) {
+	fromFlags := translate(t, []string{"-scheme", "multitree", "-n", "30", "-engine", "runtime"})
+	path := filepath.Join(t.TempDir(), "run.scn")
+	if err := os.WriteFile(path, []byte(fromFlags.Format()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := spec.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(capture(t, fromFlags), capture(t, fromFile)) {
+		t.Error("runtime-engine stdout differs between flag and scenario paths")
+	}
+}
+
+// TestListSchemes keeps the registry listing rendering every family.
+func TestListSchemes(t *testing.T) {
+	var buf bytes.Buffer
+	printSchemes(&buf)
+	for _, f := range spec.Families() {
+		if !bytes.Contains(buf.Bytes(), []byte(f.Name)) {
+			t.Errorf("-list-schemes output missing %q", f.Name)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"streamcast/internal/core"
 	"streamcast/internal/multitree"
+	"streamcast/internal/spec"
 	"streamcast/internal/trace"
 )
 
@@ -37,17 +38,15 @@ func main() {
 		fmt.Print(trace.ClusterTree(*kk, *dd, *d))
 	case 2:
 		for _, constr := range pick(*c) {
-			m, err := multitree.New(*n, *d, constr)
-			check(err)
+			s := buildTree(*n, *d, constr)
 			fmt.Printf("-- %s construction --\n", constr)
-			fmt.Print(trace.NodeSchedule(multitree.NewScheme(m, core.PreRecorded), core.NodeID(*node)))
+			fmt.Print(trace.NodeSchedule(s, core.NodeID(*node)))
 		}
 	case 3:
 		for _, constr := range pick(*c) {
-			m, err := multitree.New(*n, *d, constr)
-			check(err)
+			s := buildTree(*n, *d, constr)
 			fmt.Printf("-- %s construction (N=%d, d=%d) --\n", constr, *n, *d)
-			fmt.Print(trace.Trees(m))
+			fmt.Print(trace.Trees(s.Tree))
 		}
 	case 4:
 		out, err := trace.DelayCurves(2000, 200, []int{2, 3, 4, 5})
@@ -62,6 +61,14 @@ func main() {
 	default:
 		check(fmt.Errorf("unknown figure %d", *fig))
 	}
+}
+
+// buildTree resolves a multi-tree through the scheme registry, the same
+// construction path the simulator and experiments use.
+func buildTree(n, d int, constr multitree.Construction) *multitree.Scheme {
+	run, err := spec.Build(spec.MultiTreeScenario(n, d, constr, core.PreRecorded))
+	check(err)
+	return run.Scheme.(*multitree.Scheme)
 }
 
 func pick(c string) []multitree.Construction {

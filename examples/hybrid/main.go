@@ -3,7 +3,8 @@
 // counts, the hypercube scheme wins on buffer space with O(log N)
 // neighbors. This example measures both at several swarm sizes and picks a
 // scheme per deployment profile (memory-constrained set-top boxes vs
-// delay-sensitive live viewers).
+// delay-sensitive live viewers). Both meshes come out of the scheme
+// registry, the same construction path the simulator CLI uses.
 package main
 
 import (
@@ -11,9 +12,8 @@ import (
 	"log"
 
 	"streamcast/internal/core"
-	"streamcast/internal/hypercube"
 	"streamcast/internal/multitree"
-	"streamcast/internal/slotsim"
+	"streamcast/internal/spec"
 )
 
 type measurement struct {
@@ -23,22 +23,22 @@ type measurement struct {
 	neighbor int
 }
 
-func measure(s core.Scheme, packets core.Packet, extra core.Slot, mode core.StreamMode) (measurement, error) {
-	res, err := slotsim.Run(s, slotsim.Options{
-		Slots:   core.Slot(int(packets)) + extra,
-		Packets: packets,
-		Mode:    mode,
-	})
+func measure(sc *spec.Scenario) (measurement, error) {
+	run, err := spec.Build(sc)
+	if err != nil {
+		return measurement{}, err
+	}
+	res, err := run.Execute()
 	if err != nil {
 		return measurement{}, err
 	}
 	maxNb := 0
-	for _, nb := range s.Neighbors() {
+	for _, nb := range run.Scheme.Neighbors() {
 		if len(nb) > maxNb {
 			maxNb = len(nb)
 		}
 	}
-	return measurement{s.Name(), res.WorstStartDelay(), res.WorstBuffer(), maxNb}, nil
+	return measurement{run.Scheme.Name(), res.WorstStartDelay(), res.WorstBuffer(), maxNb}, nil
 }
 
 func main() {
@@ -49,23 +49,15 @@ func main() {
 	fmt.Printf("%7s  %-18s %-12s %-10s %-10s  %s\n", "N", "scheme", "worst delay", "buffer", "neighbors", "verdict")
 
 	for _, n := range []int{50, 200, 1000} {
-		m, err := multitree.New(n, d, multitree.Greedy)
+		msc := spec.MultiTreeScenario(n, d, multitree.Greedy, core.Live)
+		msc.Packets = 3 * d
+		mt, err := measure(msc)
 		if err != nil {
 			log.Fatal(err)
 		}
-		mt, err := measure(multitree.NewScheme(m, core.Live), core.Packet(3*d), core.Slot(m.Height()*d+5*d), core.Live)
-		if err != nil {
-			log.Fatal(err)
-		}
-		h, err := hypercube.New(n, d)
-		if err != nil {
-			log.Fatal(err)
-		}
-		lg := 1
-		for 1<<lg < n+1 {
-			lg++
-		}
-		hc, err := measure(h, 8, core.Slot((lg+1)*(lg+1)+4), core.Live)
+		hsc := spec.HypercubeScenario(n, d)
+		hsc.Packets = 8
+		hc, err := measure(hsc)
 		if err != nil {
 			log.Fatal(err)
 		}

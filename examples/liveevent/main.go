@@ -14,6 +14,7 @@ import (
 	"streamcast/internal/cluster"
 	"streamcast/internal/core"
 	"streamcast/internal/multitree"
+	"streamcast/internal/spec"
 	"streamcast/internal/trace"
 )
 
@@ -30,10 +31,13 @@ func main() {
 	fmt.Print(trace.ClusterTree(cfg.K, cfg.D, cfg.Degree))
 	fmt.Println()
 
-	s, err := cluster.New(cfg)
+	// The composed scheme comes out of the scheme registry, the same
+	// construction path `streamsim -scheme cluster` resolves.
+	run, err := spec.Build(spec.ClusterScenario(cfg.K, cfg.D, int(cfg.Tc), cfg.ClusterSize, cfg.Degree, cfg.Construction))
 	if err != nil {
 		log.Fatal(err)
 	}
+	s := run.Scheme.(*cluster.Scheme)
 	res, worst, avg, err := s.Run(core.Packet(3*cfg.Degree), 120)
 	if err != nil {
 		log.Fatal(err)

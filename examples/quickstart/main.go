@@ -1,7 +1,8 @@
-// Quickstart: build a multi-tree streaming mesh for 30 receivers, run the
-// round-robin schedule through the slot-synchronous simulator, and print
-// the QoS the paper analyses — playback delay, buffer space, and neighbor
-// count.
+// Quickstart: describe a multi-tree streaming mesh for 30 receivers as a
+// declarative scenario, resolve it through the scheme registry, preflight
+// it with the static verifier, run the slot-synchronous simulator, and
+// print the QoS the paper analyses — playback delay, buffer space, and
+// neighbor count. The same text form works with `streamsim -scenario`.
 package main
 
 import (
@@ -10,38 +11,57 @@ import (
 
 	"streamcast/internal/analysis"
 	"streamcast/internal/core"
-	"streamcast/internal/multitree"
-	"streamcast/internal/slotsim"
+	"streamcast/internal/spec"
 )
 
+// scenario is the complete description of the run in the SCENARIOS.md text
+// format: a scheme family, its parameters, and the measurement window.
+const scenario = `scheme multitree
+param n=30
+param d=3
+param construction=greedy
+packets 9
+check
+`
+
 func main() {
-	const (
-		n = 30 // receivers
-		d = 3  // tree degree: the source can upload d packets per slot
-	)
-
-	// 1. Construct d interior-disjoint d-ary trees (Section 2.2).
-	trees, err := multitree.New(n, d, multitree.Greedy)
+	// 1. Parse the declarative form. Parse rejects unknown parameters and
+	// impossible combinations with line-precise diagnostics.
+	sc, err := spec.Parse(scenario)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("built %d interior-disjoint %d-ary trees over %d receivers (height %d)\n",
-		d, d, n, trees.Height())
+	fmt.Printf("scenario (canonical form):\n%s\n", sc.Format())
 
-	// 2. Wrap them with the round-robin transmission schedule.
-	scheme := multitree.NewScheme(trees, core.PreRecorded)
+	// 2. Resolve it through the scheme registry: constructs the
+	// d interior-disjoint d-ary trees (Section 2.2), wraps them with the
+	// round-robin transmission schedule, and derives the engine horizon.
+	run, err := spec.Build(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := run.Scheme.NumReceivers()
+	d := 3
 
-	// 3. Execute the schedule. The engine independently checks that every
+	// 3. Preflight: the static verifier proves the schedule well-formed
+	// before a single packet is simulated.
+	rep, err := run.Preflight()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static verifier: schedule for %d receivers is clean\n\n", n)
+
+	// 4. Execute the schedule. The engine independently checks that every
 	// node sends and receives at most one packet per slot.
-	res, err := slotsim.Run(scheme, slotsim.Options{
-		Slots:   core.Slot(trees.Height()*d + 5*d),
-		Packets: core.Packet(3 * d),
-	})
+	res, err := run.Execute()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 4. Report QoS against the paper's bounds.
+	// 5. Report QoS against the paper's bounds.
 	fmt.Printf("worst playback delay: %d slots (Theorem 2 bound: %d)\n",
 		res.WorstStartDelay(), analysis.Theorem2Bound(n, d))
 	fmt.Printf("average playback delay: %.2f slots (Theorem 3 lower bound: %.2f)\n",
@@ -49,14 +69,14 @@ func main() {
 	fmt.Printf("worst buffer occupancy: %d packets (bound: %d)\n",
 		res.WorstBuffer(), analysis.BufferBound(n, d))
 	maxNb := 0
-	for _, nb := range scheme.Neighbors() {
+	for _, nb := range run.Scheme.Neighbors() {
 		if len(nb) > maxNb {
 			maxNb = len(nb)
 		}
 	}
 	fmt.Printf("max neighbors per node: %d (bound: 2d = %d)\n", maxNb, 2*d)
 
-	// 5. Per-node detail for a few nodes.
+	// 6. Per-node detail for a few nodes.
 	for _, id := range []core.NodeID{1, core.NodeID(n / 2), core.NodeID(n)} {
 		fmt.Printf("node %2d: starts playback at slot %d, buffers up to %d packets\n",
 			id, res.StartDelay[id], res.MaxBuffer[id])

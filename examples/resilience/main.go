@@ -15,6 +15,7 @@ import (
 	"streamcast/internal/multitree"
 	"streamcast/internal/session"
 	"streamcast/internal/slotsim"
+	"streamcast/internal/spec"
 )
 
 func main() {
@@ -26,11 +27,14 @@ func main() {
 		crashSlot = 14
 	)
 
-	trees, err := multitree.New(n, d, multitree.Greedy)
+	// The base mesh comes out of the scheme registry; the session layer
+	// wraps it with the mid-stream swap below.
+	brun, err := spec.Build(spec.MultiTreeScenario(n, d, multitree.Greedy, core.Live))
 	if err != nil {
 		log.Fatal(err)
 	}
-	base := multitree.NewScheme(trees, core.Live)
+	base := brun.Scheme.(*multitree.Scheme)
+	trees := base.Tree
 
 	// Mid-stream churn: an interior node of T_0 is replaced by an all-leaf
 	// node at slot 12 (the swap phase of a deletion).

@@ -10,9 +10,9 @@ import (
 	"log"
 
 	"streamcast/internal/core"
-	"streamcast/internal/hypercube"
 	"streamcast/internal/multitree"
 	"streamcast/internal/runtime"
+	"streamcast/internal/spec"
 )
 
 func main() {
@@ -23,14 +23,15 @@ func main() {
 		payload = 1400 // bytes per packet, the paper's MPEG-1 example
 	)
 
-	// Multi-tree over net.Pipe connections.
-	trees, err := multitree.New(n, d, multitree.Greedy)
+	// Multi-tree over net.Pipe connections; the mesh comes out of the
+	// scheme registry.
+	mrun, err := spec.Build(spec.MultiTreeScenario(n, d, multitree.Greedy, core.Live))
 	if err != nil {
 		log.Fatal(err)
 	}
-	mt := multitree.NewScheme(trees, core.Live)
+	mt := mrun.Scheme.(*multitree.Scheme)
 	res, err := runtime.Execute(mt, runtime.Options{
-		Slots:       core.Slot(trees.Height()*d + packets + 2*d),
+		Slots:       core.Slot(mt.Tree.Height()*d + packets + 2*d),
 		Packets:     packets,
 		PayloadSize: payload,
 		Mode:        core.Live,
@@ -42,11 +43,11 @@ func main() {
 	report("multi-tree over net.Pipe", n, packets, payload, res)
 
 	// Chained hypercube over in-process channels.
-	hc, err := hypercube.New(n, 1)
+	hrun, err := spec.Build(spec.HypercubeScenario(n, 1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	hres, err := runtime.Execute(hc, runtime.Options{
+	hres, err := runtime.Execute(hrun.Scheme, runtime.Options{
 		Slots:       core.Slot(packets + 60),
 		Packets:     packets,
 		PayloadSize: payload,

@@ -10,8 +10,8 @@ import (
 	"streamcast/internal/hypercube"
 	"streamcast/internal/mdc"
 	"streamcast/internal/multitree"
-	"streamcast/internal/session"
 	"streamcast/internal/slotsim"
+	"streamcast/internal/spec"
 	"streamcast/internal/stats"
 )
 
@@ -88,16 +88,10 @@ func StructuredVsUnstructured(ns []int, d int) (*Table, error) {
 		rows := [][]interface{}{{n, "multi-tree", sum.Mean, sum.P99, sum.Max,
 			0, fmt.Sprintf("h*d = %d", analysis.Theorem2Bound(n, d))}}
 
-		g, err := gossip.New(n, d, 5, gossip.PullOldest, 42)
-		if err != nil {
-			return nil, err
-		}
-		win := core.Packet(3 * d)
-		horizon := core.Slot(12*n/d + 100)
-		gres, err := simulate(g, win, horizon-core.Slot(int(win)), slotsim.Options{
-			Mode:            core.Live,
-			AllowIncomplete: true,
-		})
+		gsc := spec.GossipScenario(n, d, 5, gossip.PullOldest, 42)
+		gsc.Packets = 3 * d
+		gsc.Slots = 12*n/d + 100
+		_, gres, err := specResult(gsc, false)
 		if err != nil {
 			return nil, err
 		}
@@ -131,13 +125,11 @@ func MidStreamSwaps(n, d int) (*Table, error) {
 			"swap kind", "members w/ hiccups", "total hiccups", "max per member",
 		},
 	}
-	m, err := multitree.New(n, d, multitree.Greedy)
+	base, err := analyticMultiTree(n, d, multitree.Greedy)
 	if err != nil {
 		return nil, err
 	}
-	base := multitree.NewScheme(m, core.PreRecorded)
-	packets := core.Packet(12 * d)
-	slots := core.Slot(m.Height()*d) + core.Slot(int(packets)) + 24
+	m := base.Tree
 	swapSlot := core.Slot(m.Height()*d + 7)
 
 	// Two real all-leaf members (leaves in every tree): scan the tail of
@@ -156,21 +148,20 @@ func MidStreamSwaps(n, d int) (*Table, error) {
 
 	cases := []struct {
 		label string
-		swaps []session.Swap
+		swaps string
 	}{
-		{"none (control)", nil},
-		{"leaf <-> leaf", []session.Swap{{Slot: swapSlot, A: leafA, B: leafB}}},
-		{"interior <-> leaf", []session.Swap{{Slot: swapSlot, A: interior, B: leafA}}},
+		{"none (control)", ""},
+		{"leaf <-> leaf", fmt.Sprintf("%d:%d:%d", swapSlot, leafA, leafB)},
+		{"interior <-> leaf", fmt.Sprintf("%d:%d:%d", swapSlot, interior, leafA)},
 	}
 	for _, c := range cases {
-		s, err := session.New(base, c.swaps)
+		// The session family's default window and horizon are exactly this
+		// experiment's measurement: 12d packets, h·d+24 slack.
+		run, err := spec.Build(spec.SessionScenario(n, d, c.swaps))
 		if err != nil {
 			return nil, err
 		}
-		res, err := slotsim.Run(s, slotsim.Options{
-			Slots: slots, Packets: packets,
-			AllowIncomplete: true, AllowDuplicates: true, SkipUnavailable: true,
-		})
+		res, err := slotsim.Run(run.Scheme, run.Opt)
 		if err != nil {
 			return nil, err
 		}
@@ -204,27 +195,24 @@ func MDCGracefulDegradation(n, d int, lossRates []float64, seed int64) (*Table, 
 			"failure", "hiccups w/o MDC (total)", "MDC mean quality", "MDC worst node",
 		},
 	}
-	m, err := multitree.New(n, d, multitree.Greedy)
+	// The mdc family's default window and horizon are exactly this
+	// experiment's measurement: rounds·d packets, h·d+3d slack, best effort.
+	mdcRun, err := spec.Build(spec.MDCScenario(n, d, 6))
 	if err != nil {
 		return nil, err
 	}
-	s := multitree.NewScheme(m, core.PreRecorded)
-	rounds := 6
+	m := mdcRun.Scheme.(*multitree.Scheme).Tree
 	run := func(drop func(core.Transmission, core.Slot) bool) (*slotsim.Result, error) {
-		return slotsim.Run(s, slotsim.Options{
-			Slots:           core.Slot(m.Height()*d + (rounds+3)*d),
-			Packets:         core.Packet(rounds * d),
-			Drop:            drop,
-			AllowIncomplete: true,
-			SkipUnavailable: true,
-		})
+		opt := mdcRun.Opt
+		opt.Drop = drop
+		return slotsim.Run(mdcRun.Scheme, opt)
 	}
 	addRow := func(label string, res *slotsim.Result) {
 		hiccups := 0
 		for id := 1; id <= n; id++ {
 			hiccups += res.Hiccups(core.NodeID(id), res.StartDelay[id])
 		}
-		mean, worst := mdc.SystemQuality(res, d)
+		mean, worst := mdc.SystemQuality(res, mdcRun.Descriptions())
 		t.AddRow(label, hiccups, mean, worst)
 	}
 	for _, p := range lossRates {

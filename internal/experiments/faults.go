@@ -7,7 +7,7 @@ import (
 	"streamcast/internal/faults"
 	"streamcast/internal/multitree"
 	"streamcast/internal/obs"
-	"streamcast/internal/slotsim"
+	"streamcast/internal/spec"
 )
 
 // FaultDegradation measures how gracefully the multi-tree scheme degrades
@@ -77,31 +77,29 @@ func FaultDegradation(n, d int, seed int64) (*Table, error) {
 
 	var cleanWorst core.Slot
 	for _, sc := range scenarios {
+		// Every variant is the same registry scenario — a multi-tree at its
+		// family-default window (4d packets, h·d+4d+2 slack) — under a
+		// different programmatic fault plan. The crash plan needs the built
+		// tree to pick its victim, so a plan-free probe build resolves the
+		// topology first; churn plans rebuild through the registry's dynamic
+		// replay and stream the post-churn snapshot, like streamsim.
+		base := spec.MultiTreeScenario(n, d, multitree.Greedy, core.PreRecorded)
 		var m *multitree.MultiTree
-		var err error
-		// Churn scenarios stream the post-churn snapshot, like streamsim.
-		if sc.churn {
-			dy, err := multitree.NewDynamic(n, d, false)
+		if !sc.churn {
+			probe, err := spec.Build(base)
 			if err != nil {
 				return nil, err
 			}
-			if _, err := faults.ApplyChurn(sc.plan(nil), dy); err != nil {
-				return nil, err
-			}
-			m, _ = dy.Snapshot()
-		} else {
-			if m, err = multitree.New(n, d, multitree.Greedy); err != nil {
-				return nil, err
-			}
+			m = probe.Scheme.(*multitree.Scheme).Tree
 		}
-		s := multitree.NewScheme(m, core.PreRecorded)
-		in, err := faults.NewInjector(sc.plan(m))
+		run, err := spec.BuildWithPlan(base, sc.plan(m))
 		if err != nil {
 			return nil, err
 		}
+		m = run.Scheme.(*multitree.Scheme).Tree
 		met := obs.NewMetrics()
-		opt := in.Apply(slotsim.Options{Observer: met})
-		res, err := simulate(s, core.Packet(4*d), core.Slot(m.Height()*d+4*d+2), opt)
+		run.Opt.Observer = met
+		res, err := simulateRun(run)
 		if err != nil {
 			return nil, fmt.Errorf("faults: %s: %v", sc.name, err)
 		}

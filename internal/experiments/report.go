@@ -6,6 +6,7 @@ import (
 	"streamcast/internal/core"
 	"streamcast/internal/obs"
 	"streamcast/internal/slotsim"
+	"streamcast/internal/spec"
 )
 
 // reportMu guards reportSink: runners consult it per simulation and may in
@@ -57,4 +58,47 @@ func simulate(s core.Scheme, packets core.Packet, extraSlots core.Slot, opt slot
 	}
 	sink(slotsim.BuildReport(s, opt, res, m, 0))
 	return res, nil
+}
+
+// simulateRun executes a registry-built run with its fully resolved engine
+// options, attaching a metrics observer when a report sink is installed.
+func simulateRun(run *spec.Run) (*slotsim.Result, error) {
+	opt := run.Opt
+	sink := currentSink()
+	if sink == nil {
+		return slotsim.Run(run.Scheme, opt)
+	}
+	m := obs.NewMetrics()
+	opt.Observer = obs.Combine(opt.Observer, m)
+	res, err := slotsim.Run(run.Scheme, opt)
+	if err != nil {
+		return nil, err
+	}
+	sink(slotsim.BuildReport(run.Scheme, opt, res, m, 0))
+	return res, nil
+}
+
+// specResult resolves a scenario through the scheme registry, statically
+// verifies it when asked, and simulates it through the report sink. It is
+// the runners' single construction path: experiment sweep rows are Scenario
+// values, and the registry decides how each becomes a scheme.
+func specResult(sc *spec.Scenario, verify bool) (*spec.Run, *slotsim.Result, error) {
+	run, err := spec.Build(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	if verify {
+		rep, err := run.Preflight()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := rep.Err(); err != nil {
+			return nil, nil, err
+		}
+	}
+	res, err := simulateRun(run)
+	if err != nil {
+		return nil, nil, err
+	}
+	return run, res, nil
 }

@@ -12,6 +12,7 @@ import (
 	"streamcast/internal/hypercube"
 	"streamcast/internal/multitree"
 	"streamcast/internal/slotsim"
+	"streamcast/internal/spec"
 )
 
 // verified runs the static schedule/mesh verifier before a scheme is
@@ -25,43 +26,39 @@ func verified(s core.Scheme, opt check.Options) error {
 	return rep.Err()
 }
 
-// multitreeResult builds, statically verifies, and simulates a multi-tree
-// scheme, returning the engine result.
+// multitreeResult builds (through the scheme registry), statically
+// verifies, and simulates a multi-tree scheme, returning the engine result.
+// The window stays at the experiments' historical 3d packets.
 func multitreeResult(n, d int, c multitree.Construction, mode core.StreamMode) (*multitree.Scheme, *slotsim.Result, error) {
-	m, err := multitree.New(n, d, c)
+	sc := spec.MultiTreeScenario(n, d, c, mode)
+	sc.Packets = 3 * d
+	run, res, err := specResult(sc, true)
 	if err != nil {
 		return nil, nil, err
 	}
-	s := multitree.NewScheme(m, mode)
-	if err := verified(s, check.MultiTreeOptions(s, core.Packet(3*d))); err != nil {
-		return nil, nil, err
-	}
-	res, err := simulate(s, core.Packet(3*d), core.Slot(m.Height()*d+4*d+2), slotsim.Options{Mode: mode})
-	if err != nil {
-		return nil, nil, err
-	}
-	return s, res, nil
+	return run.Scheme.(*multitree.Scheme), res, nil
 }
 
 // hypercubeResult builds, statically verifies, and simulates a hypercube
-// scheme.
+// scheme over the experiments' historical 8-packet window.
 func hypercubeResult(n, d int) (*hypercube.Scheme, *slotsim.Result, error) {
-	s, err := hypercube.New(n, d)
+	sc := spec.HypercubeScenario(n, d)
+	sc.Packets = 8
+	run, res, err := specResult(sc, true)
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := verified(s, check.HypercubeOptions(s, 8)); err != nil {
-		return nil, nil, err
-	}
-	lg := 1
-	for 1<<lg < n+1 {
-		lg++
-	}
-	res, err := simulate(s, 8, core.Slot((lg+1)*(lg+1)+4), slotsim.Options{Mode: core.Live})
+	return run.Scheme.(*hypercube.Scheme), res, nil
+}
+
+// analyticMultiTree builds a multi-tree scheme through the registry for
+// closed-form schedule evaluation — no simulation, no verification.
+func analyticMultiTree(n, d int, c multitree.Construction) (*multitree.Scheme, error) {
+	run, err := spec.Build(spec.MultiTreeScenario(n, d, c, core.PreRecorded))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return s, res, nil
+	return run.Scheme.(*multitree.Scheme), nil
 }
 
 // Figure4 reproduces the paper's Figure 4: worst-case startup delay (in
@@ -82,11 +79,10 @@ func Figure4(maxN, step int, degrees []int, construction multitree.Construction)
 		n := step * (i + 1)
 		row := []interface{}{n}
 		for _, d := range degrees {
-			m, err := multitree.New(n, d, construction)
+			s, err := analyticMultiTree(n, d, construction)
 			if err != nil {
 				return nil, err
 			}
-			s := multitree.NewScheme(m, core.PreRecorded)
 			var worst core.Slot
 			for id := 1; id <= n; id++ {
 				if v := s.AnalyticStartDelay(core.NodeID(id)); v > worst {
@@ -172,7 +168,9 @@ func Table1(ns []int, d int) (*Table, error) {
 // ClusterExperiment reproduces the Figure 1 / Theorem 1 setting: K clusters
 // with backbone degree D and intra-cluster multi-trees of degree d; the
 // measured end-to-end worst-case delay is compared with the Theorem 1
-// estimate across Tc.
+// estimate across Tc. The scheme comes out of the registry; the measurement
+// runs over the experiments' historical window (3d packets, h·d+6d slack)
+// on the scheme's own backbone-shifted runner.
 func ClusterExperiment(k, dd, d, clusterSize int, tcs []int) (*Table, error) {
 	t := &Table{
 		ID:    "cluster",
@@ -184,13 +182,11 @@ func ClusterExperiment(k, dd, d, clusterSize int, tcs []int) (*Table, error) {
 	h := analysis.TreeHeight(clusterSize, d)
 	groups, err := forEachRow(len(tcs), func(i int) ([][]interface{}, error) {
 		tc := tcs[i]
-		s, err := cluster.New(cluster.Config{
-			K: k, D: dd, Tc: core.Slot(tc), ClusterSize: clusterSize,
-			Degree: d, Intra: cluster.MultiTree, Construction: multitree.Greedy,
-		})
+		run, err := spec.Build(spec.ClusterScenario(k, dd, tc, clusterSize, d, multitree.Greedy))
 		if err != nil {
 			return nil, err
 		}
+		s := run.Scheme.(*cluster.Scheme)
 		if err := verified(s, check.ClusterOptions(s, core.Packet(3*d), core.Slot(h*d+6*d))); err != nil {
 			return nil, err
 		}
@@ -287,11 +283,10 @@ func DegreeOptimization(ns []int, maxD int) (*Table, error) {
 		row = append(row, analysis.OptimalDegreeF(n, maxD))
 		bestD, bestV := 0, core.Slot(1<<30)
 		for d := 2; d <= maxD; d++ {
-			m, err := multitree.New(n, d, multitree.Greedy)
+			s, err := analyticMultiTree(n, d, multitree.Greedy)
 			if err != nil {
 				return nil, err
 			}
-			s := multitree.NewScheme(m, core.PreRecorded)
 			var worst core.Slot
 			for id := 1; id <= n; id++ {
 				if v := s.AnalyticStartDelay(core.NodeID(id)); v > worst {
@@ -365,7 +360,9 @@ func Churn(n, d, ops int, seed int64) (*Table, error) {
 }
 
 // Baselines compares the chain and single-tree strawmen against the
-// multi-tree and hypercube schemes (the Section 1 motivation).
+// multi-tree and hypercube schemes (the Section 1 motivation). The strawmen
+// keep their historical 5-packet live window; the single tree additionally
+// keeps its tighter 2h+8 horizon, so the scenario pins Slots explicitly.
 func Baselines(ns []int) (*Table, error) {
 	t := &Table{
 		ID:    "baselines",
@@ -385,25 +382,25 @@ func Baselines(ns []int) (*Table, error) {
 	}
 	groups, err := forEachRow(len(ns), func(i int) ([][]interface{}, error) {
 		n := ns[i]
-		ch, err := baseline.NewChain(n)
+		chSc := spec.ChainScenario(n)
+		chSc.Mode = "live"
+		chSc.Packets = 5
+		chRun, cres, err := specResult(chSc, false)
 		if err != nil {
 			return nil, err
 		}
-		cres, err := simulate(ch, 5, core.Slot(n+4), slotsim.Options{Mode: core.Live})
-		if err != nil {
-			return nil, err
-		}
-		rows := [][]interface{}{{n, "chain", int(cres.WorstStartDelay()), cres.WorstBuffer(), maxNb(ch.Neighbors()), 1}}
+		rows := [][]interface{}{{n, "chain", int(cres.WorstStartDelay()), cres.WorstBuffer(),
+			maxNb(chRun.Scheme.Neighbors()), 1}}
 
-		st, err := baseline.NewSingleTree(n, 2)
+		stSc := spec.SingleTreeScenario(n, 2)
+		stSc.Mode = "live"
+		stSc.Packets = 5
+		stSc.Slots = 5 + 2*analysis.TreeHeight(n, 2) + 8
+		stRun, stres, err := specResult(stSc, false)
 		if err != nil {
 			return nil, err
 		}
-		stres, err := simulate(st, 5, core.Slot(2*analysis.TreeHeight(n, 2)+8),
-			slotsim.Options{Mode: core.Live, SendCap: st.SendCap})
-		if err != nil {
-			return nil, err
-		}
+		st := stRun.Scheme.(*baseline.SingleTree)
 		rows = append(rows, []interface{}{n, "single tree b=2", int(stres.WorstStartDelay()),
 			stres.WorstBuffer(), maxNb(st.Neighbors()), st.UploadFactor()})
 
@@ -458,5 +455,39 @@ func LiveModes(ns []int, d int) (*Table, error) {
 		return nil, err
 	}
 	addGroups(t, groups)
+	return t, nil
+}
+
+// SchemeMatrix is the registry-driven sweep: every registered scheme family
+// is run once at a common size through its family-default scenario, so a
+// newly registered family shows up as a comparison row (and in streamsim
+// -list-schemes) without touching the experiments code. Statically
+// checkable families are verified before they are measured.
+func SchemeMatrix(n int) (*Table, error) {
+	t := &Table{
+		ID:    "schemes",
+		Title: fmt.Sprintf("every registered scheme at n=%d (family defaults)", n),
+		Columns: []string{
+			"scheme", "mode", "packets", "slots", "checked",
+			"worst delay", "avg delay", "max buffer", "missing",
+		},
+	}
+	for _, f := range spec.Families() {
+		sc := &spec.Scenario{Scheme: f.Name, Params: map[string]string{"n": fmt.Sprint(n)}}
+		run, res, err := specResult(sc, f.Caps.StaticCheck)
+		if err != nil {
+			return nil, fmt.Errorf("schemes: %s: %w", f.Name, err)
+		}
+		checked := "-"
+		if f.Caps.StaticCheck {
+			checked = "ok"
+		}
+		missing := 0
+		for _, v := range res.Missing {
+			missing += v
+		}
+		t.AddRow(f.Name, run.Opt.Mode.String(), int(run.Opt.Packets), int(run.Opt.Slots),
+			checked, int(res.WorstStartDelay()), res.AvgStartDelay(), res.WorstBuffer(), missing)
+	}
 	return t, nil
 }

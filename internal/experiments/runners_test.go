@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"streamcast/internal/multitree"
+	"streamcast/internal/spec"
 )
 
 // atoi parses a table cell.
@@ -216,6 +217,27 @@ func TestClusterExperimentRuns(t *testing.T) {
 	// Delay grows with Tc.
 	if atoi(t, tab.Rows[0][1]) >= atoi(t, tab.Rows[1][1]) {
 		t.Errorf("worst delay not increasing in Tc: %v", tab.Rows)
+	}
+}
+
+// TestSchemeMatrixCoversRegistry: the registry-driven sweep produces one
+// row per registered family, so a new family is measured automatically.
+func TestSchemeMatrixCoversRegistry(t *testing.T) {
+	tab, err := SchemeMatrix(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, r := range tab.Rows {
+		seen[r[0]] = true
+	}
+	for _, name := range spec.SchemeNames() {
+		if !seen[name] {
+			t.Errorf("scheme matrix missing registered family %q", name)
+		}
+	}
+	if len(tab.Rows) != len(spec.SchemeNames()) {
+		t.Errorf("rows %d != families %d", len(tab.Rows), len(spec.SchemeNames()))
 	}
 }
 

@@ -5,13 +5,13 @@ import (
 	"testing"
 
 	"streamcast/internal/analysis"
-	"streamcast/internal/baseline"
 	"streamcast/internal/core"
 	"streamcast/internal/gossip"
 	"streamcast/internal/hypercube"
 	"streamcast/internal/multitree"
 	"streamcast/internal/runtime"
 	"streamcast/internal/slotsim"
+	"streamcast/internal/spec"
 )
 
 // fixture bundles a scheme with a sufficient simulation horizon.
@@ -22,40 +22,44 @@ type fixture struct {
 	mode    core.StreamMode
 }
 
-// matrix builds the full scheme test matrix.
+// build resolves one scenario through the scheme registry into a fixture,
+// adopting the registry's horizon for the scenario's window.
+func build(t *testing.T, sc *spec.Scenario) fixture {
+	t.Helper()
+	run, err := spec.Build(sc)
+	if err != nil {
+		t.Fatalf("%+v: %v", sc, err)
+	}
+	return fixture{
+		scheme:  run.Scheme,
+		slots:   run.Opt.Slots,
+		packets: run.Opt.Packets,
+		mode:    run.Opt.Mode,
+	}
+}
+
+// matrix builds the full scheme test matrix through the registry.
 func matrix(t *testing.T) []fixture {
 	t.Helper()
 	var fs []fixture
 	for _, c := range []multitree.Construction{multitree.Structured, multitree.Greedy} {
 		for _, tc := range []struct{ n, d int }{{9, 2}, {26, 3}, {64, 4}} {
 			for _, mode := range []core.StreamMode{core.PreRecorded, core.Live} {
-				m, err := multitree.New(tc.n, tc.d, c)
-				if err != nil {
-					t.Fatal(err)
-				}
-				fs = append(fs, fixture{
-					scheme:  multitree.NewScheme(m, mode),
-					slots:   core.Slot(m.Height()*tc.d + 5*tc.d + 6),
-					packets: core.Packet(3 * tc.d),
-					mode:    mode,
-				})
+				sc := spec.MultiTreeScenario(tc.n, tc.d, c, mode)
+				sc.Packets = 3 * tc.d
+				fs = append(fs, build(t, sc))
 			}
 		}
 	}
 	for _, tc := range []struct{ n, d int }{{7, 1}, {31, 1}, {44, 1}, {60, 3}} {
-		h, err := hypercube.New(tc.n, tc.d)
-		if err != nil {
-			t.Fatal(err)
-		}
-		fs = append(fs, fixture{
-			scheme: h, slots: 70, packets: 8, mode: core.Live,
-		})
+		sc := spec.HypercubeScenario(tc.n, tc.d)
+		sc.Packets = 8
+		fs = append(fs, build(t, sc))
 	}
-	ch, err := baseline.NewChain(18)
-	if err != nil {
-		t.Fatal(err)
-	}
-	fs = append(fs, fixture{scheme: ch, slots: 30, packets: 6, mode: core.Live})
+	ch := spec.ChainScenario(18)
+	ch.Mode = "live"
+	ch.Packets = 6
+	fs = append(fs, build(t, ch))
 	return fs
 }
 
@@ -99,11 +103,7 @@ func TestThreeEngineAgreement(t *testing.T) {
 // neighbor check across the whole matrix plus the gossip mesh.
 func TestNeighborsCoverTrafficEverywhere(t *testing.T) {
 	fs := matrix(t)
-	g, err := gossip.New(30, 2, 4, gossip.PullRandom, 21)
-	if err != nil {
-		t.Fatal(err)
-	}
-	fs = append(fs, fixture{scheme: g, slots: 100})
+	fs = append(fs, build(t, spec.GossipScenario(30, 2, 4, gossip.PullRandom, 21)))
 	for _, f := range fs {
 		if err := slotsim.VerifyNeighbors(f.scheme, f.slots); err != nil {
 			t.Errorf("%s: %v", f.scheme.Name(), err)

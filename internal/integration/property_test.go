@@ -11,6 +11,7 @@ import (
 	"streamcast/internal/hypercube"
 	"streamcast/internal/multitree"
 	"streamcast/internal/slotsim"
+	"streamcast/internal/spec"
 )
 
 // TestQuickMultitreeSchedule: arbitrary (N, d, construction, mode) within
@@ -26,14 +27,15 @@ func TestQuickMultitreeSchedule(t *testing.T) {
 		}
 		modes := []core.StreamMode{core.PreRecorded, core.Live, core.LivePreBuffered}
 		mode := modes[int(mRaw)%len(modes)]
-		m, err := multitree.New(n, d, c)
+		sc := spec.MultiTreeScenario(n, d, c, mode)
+		sc.Packets = 3 * d
+		run, err := spec.Build(sc)
 		if err != nil {
 			return false
 		}
-		s := multitree.NewScheme(m, mode)
 		// The static verifier must agree with the engine on every sampled
 		// configuration: structural invariants, capacities, and bounds.
-		rep, err := check.Static(s, check.MultiTreeOptions(s, core.Packet(3*d)))
+		rep, err := check.Static(run.Scheme, *run.CheckOpt)
 		if err != nil {
 			t.Logf("N=%d d=%d %s %s: static check: %v", n, d, c, mode, err)
 			return false
@@ -42,11 +44,7 @@ func TestQuickMultitreeSchedule(t *testing.T) {
 			t.Logf("N=%d d=%d %s %s: %v", n, d, c, mode, rep.Err())
 			return false
 		}
-		res, err := slotsim.Run(s, slotsim.Options{
-			Slots:   core.Slot(m.Height()*d + 5*d + 4),
-			Packets: core.Packet(3 * d),
-			Mode:    mode,
-		})
+		res, err := slotsim.Run(run.Scheme, run.Opt)
 		if err != nil {
 			t.Logf("N=%d d=%d %s %s: %v", n, d, c, mode, err)
 			return false
@@ -66,11 +64,14 @@ func TestQuickHypercubeSchedule(t *testing.T) {
 	f := func(nRaw uint16, dRaw uint8) bool {
 		n := int(nRaw)%900 + 1
 		d := int(dRaw)%4 + 1
-		s, err := hypercube.New(n, d)
+		sc := spec.HypercubeScenario(n, d)
+		sc.Packets = 8
+		run, err := spec.Build(sc)
 		if err != nil {
 			return false
 		}
-		rep, err := check.Static(s, check.HypercubeOptions(s, 8))
+		s := run.Scheme.(*hypercube.Scheme)
+		rep, err := check.Static(s, *run.CheckOpt)
 		if err != nil {
 			t.Logf("N=%d d=%d: static check: %v", n, d, err)
 			return false
@@ -79,15 +80,7 @@ func TestQuickHypercubeSchedule(t *testing.T) {
 			t.Logf("N=%d d=%d: %v", n, d, rep.Err())
 			return false
 		}
-		lg := 1
-		for 1<<lg < n+1 {
-			lg++
-		}
-		res, err := slotsim.Run(s, slotsim.Options{
-			Slots:   core.Slot(8 + (lg+1)*(lg+1) + 4),
-			Packets: 8,
-			Mode:    core.Live,
-		})
+		res, err := slotsim.Run(s, run.Opt)
 		if err != nil {
 			t.Logf("N=%d d=%d: %v", n, d, err)
 			return false

@@ -108,3 +108,5 @@ func TestObsGuardFixture(t *testing.T) { runFixture(t, "obsguard", ObsGuard) }
 func TestCheckedErrFixture(t *testing.T) { runFixture(t, "checkederr", CheckedErr) }
 
 func TestHotAllocFixture(t *testing.T) { runFixture(t, "hotalloc", HotAlloc) }
+
+func TestConstructionFixture(t *testing.T) { runFixture(t, "construction", Construction) }

@@ -166,6 +166,7 @@ func All() []*Analyzer {
 		ObsGuard,
 		CheckedErr,
 		HotAlloc,
+		Construction,
 	}
 }
 

@@ -1,0 +1,187 @@
+package spec
+
+import (
+	"fmt"
+
+	"streamcast/internal/check"
+	"streamcast/internal/core"
+	"streamcast/internal/faults"
+	"streamcast/internal/runtime"
+	"streamcast/internal/slotsim"
+)
+
+// Run is a scenario resolved into everything the engines need: the
+// constructed scheme, fully populated slotsim options, the preflight
+// check options, and the fault injector. It is the registry's product —
+// every layer (CLI, experiments, integration suites, benchmarks) executes
+// schemes through a Run instead of calling constructors directly.
+type Run struct {
+	// Scenario is the validated input.
+	Scenario *Scenario
+	// Family is the registry entry that built the run.
+	Family *Family
+	// Values are the fully resolved parameters (defaults filled in).
+	Values Values
+	// Scheme is the constructed scheme.
+	Scheme core.Scheme
+	// Opt are the complete engine options (horizon, window, mode,
+	// capacities, injected faults).
+	Opt slotsim.Options
+	// CheckOpt are the static-verifier options; nil when the family is
+	// not statically checkable.
+	CheckOpt *check.Options
+	// Injector is the fault injector; nil without a fault plan.
+	Injector *faults.Injector
+	// Plan is the loaded fault plan backing Injector.
+	Plan *faults.Plan
+	// Churn summarizes replayed fault-plan churn; nil without churn.
+	Churn *faults.ChurnSummary
+}
+
+// Build resolves a scenario through the registry into a Run. It validates
+// the scenario, resolves parameters against the family defaults, loads and
+// replays the fault plan (churn included), constructs the scheme exactly
+// once, and derives the engine and check options.
+func Build(sc *Scenario) (*Run, error) { return BuildWithPlan(sc, nil) }
+
+// BuildWithPlan is Build with a programmatic fault plan taking the place of
+// the scenario's faults file — for callers (the fault-degradation sweeps)
+// that generate plans in memory rather than loading them from disk. A nil
+// plan falls back to the scenario's FaultsFile, making Build a special case.
+func BuildWithPlan(sc *Scenario, plan *faults.Plan) (*Run, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	f := Lookup(sc.Scheme)
+	v, err := f.resolve(sc.Params)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+
+	if plan == nil && sc.FaultsFile != "" {
+		plan, err = faults.Load(sc.FaultsFile)
+		if err != nil {
+			return nil, err
+		}
+		if sc.FaultSeed != 0 {
+			plan.Seed = sc.FaultSeed
+		}
+	}
+	if plan != nil && len(plan.Churn) > 0 && !f.Caps.Churn {
+		source := sc.FaultsFile
+		if source == "" {
+			source = "the fault plan"
+		}
+		return nil, fmt.Errorf("spec: churn events in %s require a churn-capable scheme (multitree); %s is static",
+			source, sc.Scheme)
+	}
+
+	mode := f.ForcedMode
+	if !f.HasForcedMode && !f.InternalMode {
+		mode = core.PreRecorded
+		if sc.Mode != "" {
+			mode = modeNames[sc.Mode]
+		}
+	}
+
+	packets := core.Packet(sc.Packets)
+	if packets == 0 {
+		packets = f.defaultPackets(v)
+	}
+
+	out, err := f.build(buildInput{Values: v, Mode: mode, Packets: packets, Plan: plan})
+	if err != nil {
+		return nil, fmt.Errorf("spec: scheme %s: %w", sc.Scheme, err)
+	}
+
+	opt := out.Opt
+	opt.Packets = packets
+	if opt.Slots == 0 {
+		opt.Slots = core.Slot(int(packets)) + out.Extra
+	}
+	if sc.Slots > 0 {
+		opt.Slots = core.Slot(sc.Slots)
+	}
+
+	run := &Run{
+		Scenario: sc,
+		Family:   f,
+		Values:   v,
+		Scheme:   out.Scheme,
+		Plan:     plan,
+		Churn:    out.Churn,
+	}
+	if plan != nil {
+		in, err := faults.NewInjector(plan)
+		if err != nil {
+			return nil, err
+		}
+		run.Injector = in
+		opt = in.Apply(opt)
+	}
+	run.Opt = opt
+
+	if f.Caps.StaticCheck {
+		var chkOpt check.Options
+		if out.MkCheck != nil {
+			chkOpt = out.MkCheck(packets)
+		} else {
+			// Generic engine-derived audit for families without a
+			// closed-form bound mapping (the baselines).
+			chkOpt = check.Options{
+				Horizon: opt.Slots, Packets: packets, Mode: opt.Mode,
+				SendCap: opt.SendCap, CheckMesh: true,
+				AllowIncomplete: opt.AllowIncomplete,
+			}
+		}
+		run.CheckOpt = &chkOpt
+	}
+	return run, nil
+}
+
+// Preflight runs the static schedule/mesh verifier against the run.
+func (r *Run) Preflight() (*check.Report, error) {
+	if r.CheckOpt == nil {
+		return nil, fmt.Errorf("spec: scheme %s is not statically checkable", r.Family.Name)
+	}
+	return check.Static(r.Scheme, *r.CheckOpt)
+}
+
+// Execute runs the scenario on the slotsim engine it selects (sequential
+// or parallel). Runtime-engine scenarios use ExecuteRuntime instead.
+func (r *Run) Execute() (*slotsim.Result, error) {
+	if r.Scenario.Engine == "runtime" {
+		return nil, fmt.Errorf("spec: scenario selects the runtime engine; use ExecuteRuntime")
+	}
+	if r.Scenario.Parallel {
+		return slotsim.RunParallel(r.Scheme, r.Opt, r.Scenario.Workers)
+	}
+	return slotsim.Run(r.Scheme, r.Opt)
+}
+
+// RuntimeOptions derives the goroutine-runtime options for the run,
+// wiring the fault plan through a FaultTransport exactly as the CLI
+// always has: the per-frame verdict coins match the slotsim injector,
+// and delayed frames get receive-capacity headroom to land beside the
+// regularly scheduled ones.
+func (r *Run) RuntimeOptions() runtime.Options {
+	ropt := runtime.Options{Slots: r.Opt.Slots, Packets: r.Opt.Packets, Mode: r.Opt.Mode}
+	if r.Injector != nil {
+		rcap := 1
+		if r.Plan.HasDelay() {
+			rcap = 32
+		}
+		ropt.RecvCap = rcap
+		ropt.Transport = runtime.NewFaultTransport(
+			runtime.NewChanTransport(r.Scheme.NumReceivers(), rcap+4), r.Injector)
+		ropt.AllowIncomplete = true
+		ropt.SkipUnavailable = true
+	}
+	return ropt
+}
+
+// ExecuteRuntime runs the scenario on the goroutine message-passing
+// runtime.
+func (r *Run) ExecuteRuntime() (*runtime.Result, error) {
+	return runtime.Execute(r.Scheme, r.RuntimeOptions())
+}

@@ -1,0 +1,103 @@
+package spec
+
+import (
+	"fmt"
+
+	"streamcast/internal/check"
+	"streamcast/internal/core"
+	"streamcast/internal/faults"
+	"streamcast/internal/multitree"
+)
+
+// multiTreeParams are the parameters shared by every family built on the
+// multi-tree construction (multitree itself, mdc, session).
+func multiTreeParams() []Param {
+	return []Param{
+		{Name: "n", Kind: Int, Def: "100", Min: 1, Doc: "number of receivers"},
+		{Name: "d", Kind: Int, Def: "3", Min: 1, Doc: "source capacity / tree degree d"},
+		{Name: "construction", Kind: Enum, Def: "greedy", Enum: []string{"greedy", "structured"},
+			Doc: "multi-tree construction"},
+	}
+}
+
+// parseConstruction maps the enum word to the multitree constant; the
+// registry has already validated the value.
+func parseConstruction(v string) multitree.Construction {
+	if v == "structured" {
+		return multitree.Structured
+	}
+	return multitree.Greedy
+}
+
+// buildMultiTree constructs the multi-tree behind the multitree, mdc, and
+// session families. When the fault plan carries churn, the schedule is
+// replayed through the dynamic family and the surviving snapshot is
+// streamed — the repaired trees are what a post-churn deployment would
+// actually run.
+func buildMultiTree(v Values, plan *faults.Plan) (*multitree.MultiTree, *faults.ChurnSummary, error) {
+	n, d := v.Int("n"), v.Int("d")
+	if plan != nil && len(plan.Churn) > 0 {
+		dy, err := multitree.NewDynamic(n, d, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		ops, err := faults.ApplyChurn(plan, dy)
+		if err != nil {
+			return nil, nil, err
+		}
+		sum := faults.Summarize(ops, d)
+		m, _ := dy.Snapshot()
+		return m, &sum, nil
+	}
+	m, err := multitree.New(n, d, parseConstruction(v.Str("construction")))
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, nil, nil
+}
+
+// multiTreeExtra is the family's automatic horizon slack beyond the packet
+// window: tree height worth of per-hop delay plus the live-pipelining and
+// warmup slack.
+func multiTreeExtra(m *multitree.MultiTree, d int) core.Slot {
+	return core.Slot(m.Height()*d + 4*d + 2)
+}
+
+func init() {
+	register(&Family{
+		Name:   "multitree",
+		Doc:    "the paper's d interior-disjoint trees (Section 2); supports churn replay",
+		Params: multiTreeParams(),
+		Caps:   Capabilities{StaticCheck: true, Periodic: true, Churn: true},
+		defaultPackets: func(v Values) core.Packet {
+			return core.Packet(4 * v.Int("d"))
+		},
+		build: func(in buildInput) (*buildOutput, error) {
+			m, churn, err := buildMultiTree(in.Values, in.Plan)
+			if err != nil {
+				return nil, err
+			}
+			s := multitree.NewScheme(m, in.Mode)
+			out := &buildOutput{
+				Scheme: s,
+				Extra:  multiTreeExtra(m, in.Values.Int("d")),
+				Churn:  churn,
+				MkCheck: func(win core.Packet) check.Options {
+					return check.MultiTreeOptions(s, win)
+				},
+			}
+			out.Opt.Mode = in.Mode
+			return out, nil
+		},
+	})
+}
+
+// MultiTreeScenario is a convenience constructor for the common sweep
+// shape: N receivers, degree d, a construction, a stream mode.
+func MultiTreeScenario(n, d int, c multitree.Construction, mode core.StreamMode) *Scenario {
+	sc := &Scenario{Scheme: "multitree", Mode: modeWord(mode)}
+	sc.setParam("n", fmt.Sprint(n))
+	sc.setParam("d", fmt.Sprint(d))
+	sc.setParam("construction", c.String())
+	return sc
+}

@@ -1,0 +1,101 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"streamcast/internal/core"
+	"streamcast/internal/multitree"
+	"streamcast/internal/session"
+)
+
+// parseSwaps parses the session family's swaps parameter:
+// "slot:a:b[,slot:a:b...]" — each element swaps members a and b at the
+// start of the given slot. Range checks against the tree happen in
+// session.New; this validates shape and integer-ness.
+func parseSwaps(v string) ([]session.Swap, error) {
+	if v == "" {
+		return nil, nil
+	}
+	var out []session.Swap
+	for _, part := range strings.Split(v, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("swap %q is not slot:a:b", part)
+		}
+		nums := make([]int, 3)
+		for i, f := range fields {
+			n, err := strconv.Atoi(f)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("swap %q: %q is not a non-negative integer", part, f)
+			}
+			nums[i] = n
+		}
+		out = append(out, session.Swap{
+			Slot: core.Slot(nums[0]),
+			A:    core.NodeID(nums[1]),
+			B:    core.NodeID(nums[2]),
+		})
+	}
+	return out, nil
+}
+
+// SessionScenario is a convenience constructor for swap sweeps: N
+// receivers, degree d, and a swap list in the family's slot:a:b[,...] form
+// (empty for a swap-free control run).
+func SessionScenario(n, d int, swaps string) *Scenario {
+	sc := &Scenario{Scheme: "session"}
+	sc.setParam("n", fmt.Sprint(n))
+	sc.setParam("d", fmt.Sprint(d))
+	if swaps != "" {
+		sc.setParam("swaps", swaps)
+	}
+	return sc
+}
+
+func init() {
+	params := append(multiTreeParams(),
+		Param{Name: "swaps", Kind: Text, Def: "",
+			Check: func(v string) error { _, err := parseSwaps(v); return err },
+			Doc:   "mid-stream position swaps, slot:a:b[,slot:a:b...]"})
+	register(&Family{
+		Name:   "session",
+		Doc:    "multi-tree with mid-stream position swaps (dynamic sessions)",
+		Params: params,
+		// Swaps glitch the swapped positions' subtrees for a transition
+		// window: incomplete playback is the measurement, not a defect,
+		// and the static verifier has no model for the transition.
+		Caps: Capabilities{BestEffort: true},
+		defaultPackets: func(v Values) core.Packet {
+			return core.Packet(12 * v.Int("d"))
+		},
+		build: func(in buildInput) (*buildOutput, error) {
+			m, _, err := buildMultiTree(in.Values, nil)
+			if err != nil {
+				return nil, err
+			}
+			swaps, err := parseSwaps(in.Values.Str("swaps"))
+			if err != nil {
+				return nil, err
+			}
+			base := multitree.NewScheme(m, in.Mode)
+			s, err := session.New(base, swaps)
+			if err != nil {
+				return nil, err
+			}
+			d := in.Values.Int("d")
+			out := &buildOutput{
+				Scheme: s,
+				// The mid-stream swap experiments' horizon: tree
+				// propagation plus a fixed transition slack.
+				Extra: core.Slot(m.Height()*d + 24),
+			}
+			out.Opt.Mode = in.Mode
+			out.Opt.AllowIncomplete = true
+			out.Opt.AllowDuplicates = true
+			out.Opt.SkipUnavailable = true
+			return out, nil
+		},
+	})
+}

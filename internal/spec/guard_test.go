@@ -1,0 +1,140 @@
+package spec
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// bannedConstructors maps an import path to the constructor names that must
+// only be called through the scheme registry. This mirrors the streamvet
+// `construction` analyzer but extends the ban to _test.go files in the
+// layers above the spec package: the experiment runners, the integration
+// suites, the CLI tools, the examples, and the top-level benchmarks all
+// have to build schemes from a Scenario so that a new family is swept
+// automatically and horizons are derived in exactly one place.
+var bannedConstructors = map[string][]string{
+	"streamcast/internal/multitree": {"New"},
+	"streamcast/internal/hypercube": {"New"},
+	"streamcast/internal/cluster":   {"New"},
+	"streamcast/internal/baseline":  {"NewChain", "NewSingleTree"},
+	"streamcast/internal/gossip":    {"New"},
+}
+
+// guardedTrees lists the module sub-trees (relative to the repo root) in
+// which TestNoStrayConstruction enforces the ban, including test files.
+// Low-level engine and scheme unit tests below these trees keep their
+// hand-built fixtures on purpose.
+var guardedTrees = []string{
+	"cmd",
+	"examples",
+	"internal/experiments",
+	"internal/integration",
+}
+
+// TestNoStrayConstruction asserts that every construction site above the
+// spec layer routes through the registry. Unlike the streamvet analyzer it
+// also covers _test.go files; a deliberate exception carries a
+// `//lint:ignore construction <reason>` comment on the call line or the
+// line above it.
+func TestNoStrayConstruction(t *testing.T) {
+	root := filepath.Join("..", "..")
+	var files []string
+	ents, err := filepath.Glob(filepath.Join(root, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, ents...)
+	for _, tree := range guardedTrees {
+		err := filepath.WalkDir(filepath.Join(root, tree), func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".go") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fset := token.NewFileSet()
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+
+		// Local names of the banned packages actually imported here.
+		banned := map[string][]string{}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			names, ok := bannedConstructors[p]
+			if !ok {
+				continue
+			}
+			local := filepath.Base(p)
+			if imp.Name != nil {
+				local = imp.Name.Name
+			}
+			banned[local] = names
+		}
+		if len(banned) == 0 {
+			continue
+		}
+
+		// Lines suppressed by a //lint:ignore construction directive.
+		ignored := map[int]bool{}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if strings.HasPrefix(text, "lint:ignore construction") {
+					line := fset.Position(c.Pos()).Line
+					ignored[line] = true
+					ignored[line+1] = true
+				}
+			}
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			names, ok := banned[id.Name]
+			if !ok {
+				return true
+			}
+			for _, name := range names {
+				if sel.Sel.Name != name {
+					continue
+				}
+				pos := fset.Position(call.Pos())
+				if ignored[pos.Line] {
+					continue
+				}
+				t.Errorf("%s:%d: direct %s.%s call; build the scheme from a spec.Scenario via the registry",
+					pos.Filename, pos.Line, id.Name, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -131,6 +131,9 @@ func DelayCurves(maxN, step int, degrees []int) (string, error) {
 	for n := step; n <= maxN; n += step {
 		fmt.Fprintf(&b, "%6d", n)
 		for _, d := range degrees {
+			// Analytic only: the renderer never simulates, so it reads the
+			// raw tree instead of resolving a full scenario per point.
+			//lint:ignore construction analytic figure renderer, no engine run
 			m, err := multitree.New(n, d, multitree.Greedy)
 			if err != nil {
 				return "", err
@@ -172,6 +175,9 @@ func HypercubePairs(k int) string {
 // it receives, the packet it transmits, and the packet it consumes.
 func HypercubeBufferTrace(k int, firstSlot, lastSlot core.Slot) (string, error) {
 	n := 1<<k - 1
+	// The trace derives its window from the requested slot range, not a
+	// scenario, so it builds the cube directly.
+	//lint:ignore construction figure renderer with a caller-chosen window
 	s, err := hypercube.New(n, 1)
 	if err != nil {
 		return "", err
