@@ -33,9 +33,11 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run XXX .
 
 # One-iteration benchmark smoke: proves every benchmark still compiles and
-# runs. Part of ci; numbers from a 1x pass are not meaningful.
+# runs, including the N=10^5 slot-engine scale cases. Part of ci; -short
+# skips only the million-node hypercube, and numbers from a 1x pass are not
+# meaningful.
 benchsmoke:
-	$(GO) test -bench . -benchtime 1x -benchmem -run XXX .
+	$(GO) test -bench . -benchtime 1x -benchmem -short -run XXX .
 
 # Measured benchmark snapshot as JSON (ns/op, B/op, allocs/op, custom
 # metrics), written to BENCH_<date>.json via cmd/benchdiff. Compare two

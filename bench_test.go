@@ -256,6 +256,70 @@ func BenchmarkEngineSequentialVsParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkSlotEngineScale measures raw slot-engine throughput at the scales
+// the paper's asymptotic bounds address: multitree at N=10^4 and N=10^5, and
+// a full 2^20−1 hypercube (the "million-node" case; skipped under -short, so
+// `make benchsmoke` stays quick). Each case runs the sequential engine and
+// the sharded engine on a warmed Runner — the compiled-schedule cache and
+// scratch arenas are hot, so the numbers isolate the per-slot path. The
+// node_slots/s metric (nodes × slots simulated per second) is the figure the
+// PERFORMANCE.md trajectory table tracks.
+func BenchmarkSlotEngineScale(b *testing.B) {
+	type scaleCase struct {
+		name   string
+		scheme core.Scheme
+		opt    slotsim.Options
+		nodes  int
+	}
+	var cases []scaleCase
+	for _, n := range []int{10000, 100000} {
+		s := benchScheme(b, spec.MultiTreeScenario(n, 4, multitree.Greedy, core.PreRecorded)).(*multitree.Scheme)
+		opt := slotsim.Options{
+			Slots:   core.Slot(s.Tree.Height()*4 + 24),
+			Packets: 8,
+		}
+		cases = append(cases, scaleCase{fmt.Sprintf("multitree-N%d", n), s, opt, n + 1})
+	}
+	if !testing.Short() {
+		const k = 20
+		s := benchScheme(b, spec.HypercubeScenario(1<<k-1, 1))
+		opt := slotsim.Options{
+			Slots:   core.Slot(4*k + 8),
+			Packets: core.Packet(2 * k),
+			Mode:    core.Live,
+		}
+		cases = append(cases, scaleCase{fmt.Sprintf("hypercube-N%d", 1<<k-1), s, opt, 1 << k})
+	}
+	for _, c := range cases {
+		work := float64(c.nodes) * float64(c.opt.Slots)
+		run := func(workers int) func(b *testing.B) {
+			return func(b *testing.B) {
+				r := slotsim.NewRunner()
+				exec := func() error {
+					if workers == 0 {
+						_, err := r.Run(c.scheme, c.opt)
+						return err
+					}
+					_, err := r.RunParallel(c.scheme, c.opt, workers)
+					return err
+				}
+				if err := exec(); err != nil { // warm scratch + compiled cache
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := exec(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(work*float64(b.N)/b.Elapsed().Seconds(), "node_slots/s")
+			}
+		}
+		b.Run(c.name+"/sequential", run(0))
+		b.Run(c.name+"/sharded-4", run(4))
+	}
+}
+
 // BenchmarkObserverOverhead measures the cost of the observability layer
 // on the sequential engine: no observer (the fast path every pre-existing
 // caller stays on), the Metrics collector, and full event recording.

@@ -33,6 +33,13 @@
 //	streamsim -scheme hypercube -n 500 -metrics-out metrics.prom -trace-out events.jsonl
 //	streamsim -scheme multitree -n 100000 -parallel -pprof localhost:6060
 //
+// Scale (see PERFORMANCE.md): the struct-of-arrays engine runs N=10^5–10^6
+// node scenarios directly; -parallel shards slots across workers over
+// contiguous NodeID ranges with results bit-identical to the sequential
+// engine at any -workers count, so worker count is purely a tuning knob:
+//
+//	streamsim -scheme multitree -n 1000000 -d 4 -parallel -workers 8
+//
 // Fault injection (see FAULTS.md): -faults loads a deterministic fault plan
 // (crashes, transient loss, link delay, churn) and replays it against the
 // run; -fault-seed overrides the plan's seed. The same plan and seed give a
@@ -121,7 +128,7 @@ func newCLI(fs *flag.FlagSet) *cli {
 	fs.StringVar(&c.swaps, "swaps", "", "mid-stream swaps slot:a:b[,...] (session scheme)")
 	fs.IntVar(&c.rounds, "rounds", 6, "MDC playback rounds (mdc scheme)")
 	fs.BoolVar(&c.doCheck, "check", false, "statically verify the schedule and mesh (internal/check) before running")
-	fs.BoolVar(&c.parallel, "parallel", false, "use the goroutine-parallel engine")
+	fs.BoolVar(&c.parallel, "parallel", false, "use the sharded parallel engine (bit-identical results)")
 	fs.IntVar(&c.workers, "workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
 	fs.StringVar(&c.engine, "engine", "slotsim", "slotsim | runtime (goroutine message passing)")
 	fs.StringVar(&c.metricsOut, "metrics-out", "", "write Prometheus-format metrics to this file ('-' for stdout)")

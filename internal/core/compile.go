@@ -28,10 +28,15 @@ type PeriodicScheme interface {
 
 // Compilation safety caps: schedules whose warmup or period would
 // materialize more state than this are executed uncompiled (the one-time
-// compile would cost more than it saves).
+// compile would cost more than it saves, or the snapshot would not fit in
+// memory). The transmission cap is sized for million-node runs: the paper's
+// schemes emit O(N) transmissions per slot, so one warmup-plus-period window
+// at N=10^6 holds a few tens of millions of entries — 1<<26 transmissions is
+// a ~1.5 GiB backing array, the practical ceiling for a snapshot that is
+// cached per Runner.
 const (
 	maxCompiledSlots         = 1 << 20
-	maxCompiledTransmissions = 1 << 21
+	maxCompiledTransmissions = 1 << 26
 )
 
 // CompiledScheme is a snapshot of a periodic schedule. Transmissions(t)

@@ -26,6 +26,12 @@ var hotFuncs = map[string]bool{
 	"validateSendsParallel": true,
 	"deliverParallel":       true,
 	"shardFor":              true,
+	"shardRange":            true,
+	"mergeStaged":           true,
+	"noteDelivery":          true,
+	"nextTick":              true,
+	"enqueue":               true,
+	"drain":                 true,
 	"finish":                true,
 	"maxBuffer":             true,
 }

@@ -10,8 +10,10 @@
 // slotsim.Options.Observer sees every slot boundary, transmission,
 // delivery, failure-injection drop and constraint violation as it happens,
 // in a deterministic order that is identical between slotsim.Run and
-// slotsim.RunParallel (the parallel engine shards event collection
-// per-worker and merges at the slot barrier).
+// slotsim.RunParallel (the sharded engine stages each worker's deliveries
+// tagged with their transmission index and k-way merges the per-shard
+// batches at the slot barrier — see PERFORMANCE.md for why that
+// reconstructs the sequential order exactly, violations included).
 //
 // Consumers shipped here:
 //

@@ -14,15 +14,28 @@
 // delay (Theorems 1–4), buffer occupancy (Proposition 1, the h·d bound),
 // and the delay/buffer tradeoff of Table 1.
 //
+// Internally the engine is struct-of-arrays (see PERFORMANCE.md): there are
+// no per-node structs or per-node maps. Every per-node quantity — the
+// packed arrival matrix, source-occupancy bitmap, epoch-stamped capacity
+// counters, and playback cursors — lives in a flat array indexed by NodeID
+// inside a reusable scratch arena, which is what lets one engine span
+// N=10 and N=10^6 with a per-slot path that performs no allocations and no
+// O(N) clears.
+//
 // Entry points:
 //
 //   - Run executes a core.Scheme sequentially and returns a Result with
 //     per-node arrival times, playback start delays (StartDelay, the
 //     paper's startup delay: max_j arrival_j − j), peak buffer occupancy
 //     under the Figure 5 playback convention, and hiccup accounting.
-//   - RunParallel is the fork/join variant: per-slot sharded validation
-//     and delivery, bit-identical with Run (property-tested), including
-//     the observer event stream.
+//   - RunParallel is the sharded variant: per-slot fork/join over
+//     contiguous, cache-line-aligned NodeID partitions, with per-shard
+//     delivery staging merged deterministically at the slot barrier.
+//     Bit-identical with Run at any worker count (property-tested),
+//     including the observer event stream.
+//   - Runner owns the scratch arena and a small cache of compiled
+//     schedules for callers that run many simulations back to back; Run
+//     and RunParallel draw pooled Runners automatically.
 //   - Options configures horizon, measurement window, stream mode,
 //     capacities, link latency, failure injection (Drop, SkipUnavailable,
 //     AllowIncomplete) and the observability hook (Observer).

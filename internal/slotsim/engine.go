@@ -2,6 +2,7 @@ package slotsim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"streamcast/internal/core"
 	"streamcast/internal/obs"
@@ -74,7 +75,9 @@ type Options struct {
 	// ExtraSources marks additional node IDs that behave like sources:
 	// they may transmit packets they never received (used by the cluster
 	// simulator for super nodes is NOT needed — super nodes receive the
-	// stream — but used in tests for standalone sub-schemes).
+	// stream — but used in tests for standalone sub-schemes). The engine
+	// folds this map into a flat occupancy bitmap at run start; the
+	// per-slot path never touches the map itself.
 	ExtraSources map[core.NodeID]bool
 }
 
@@ -187,39 +190,52 @@ func Run(s core.Scheme, opt Options) (*Result, error) {
 }
 
 // engine holds the mutable state of a run shared by the sequential and
-// parallel drivers.
+// parallel drivers. All per-node state is struct-of-arrays (see soa.go and
+// PERFORMANCE.md): flat arrays indexed by NodeID, with the arrival matrix
+// flattened to one int32 array of stride maxPkt.
 type engine struct {
-	scheme  core.Scheme
-	opt     Options
-	n       int
-	maxPkt  core.Packet // tracking bound for arrivals (window + slack)
-	arrival [][]core.Slot
-	sendCap CapacityFunc // custom only; nil when sendTab is active
-	recvCap CapacityFunc // custom only; nil when recvTab is active
-	latency LatencyFunc  // nil on the fast path (no latency, no injector)
-	sendTab []int        // precomputed default send capacities
-	recvTab []int        // precomputed default receive capacities
+	scheme core.Scheme
+	opt    Options
+	n      int
+	maxPkt core.Packet // tracking bound for arrivals (window + slack)
+	stride int         // row stride of the flat arrival matrix (= n+1)
+	// arr is the packed arrival matrix, packet-major: arr[p·stride+id] holds
+	// the arrival slot + 1 of packet p at node id, or unset32 (0). Rows are
+	// packets because a slot moves only a few distinct packets across many
+	// nodes, so packet-major turns each slot's matrix traffic into
+	// near-sequential walks of a handful of rows; node-major would make
+	// every access a random probe at large N. Each write marks the packet's
+	// bit in dirtyRows so the next run clears only the rows this run touched.
+	arr       []int32
+	dirtyRows []uint64     // bitmap of arrival-matrix (packet) rows written this run
+	srcBits   []uint64     // occupancy bitmap of packet-originating node ids
+	sendCap   CapacityFunc // custom only; nil when sendTab is active
+	recvCap   CapacityFunc // custom only; nil when recvTab is active
+	latency   LatencyFunc  // nil on the fast path (no latency, no injector)
+	sendTab   []int32      // precomputed default send capacities
+	recvTab   []int32      // precomputed default receive capacities
 	// fast marks a run with no LatencyFunc and no Injector: every link takes
-	// exactly 1 slot, so routing bypasses the inflight map entirely.
+	// exactly 1 slot, so routing bypasses the in-flight ring entirely.
 	fast bool
-	// inflight[t] holds transmissions that arrive at the end of slot t,
-	// keyed by absolute slot. nil on the fast path.
-	inflight map[core.Slot][]core.Transmission
-	sent     []int // scratch: per-sender count within the current slot
-	received []int // scratch: per-receiver count within the arrival slot
-	sc       *scratch
-	obs      obs.Observer
+	// ring buffers in-flight transmissions by arrival slot. nil on the
+	// fast path.
+	ring *txRing
+	// Epoch-stamped per-slot capacity counters, packed stamp<<32 | count:
+	// an entry is only meaningful when its stamp equals the phase's tick, so
+	// no per-slot O(N) clearing is needed, and packing the stamp with the
+	// count makes each check-and-bump a single cache-line access.
+	sentSt []uint64
+	recvSt []uint64
+	// Playback cursors packed worstLag<<32 | got, updated at delivery time
+	// for window packets: worstLag is max (arrival − packet), the node's
+	// playback delay; got counts distinct window packets received.
+	cursor []uint64
+	sc     *scratch
+	obs    obs.Observer
 }
 
-// grownSlots returns s resized to n, reusing its backing array when large
+// grownInts returns s resized to n, reusing its backing array when large
 // enough. Contents are unspecified; callers reset what they read.
-func grownSlots(s []core.Slot, n int) []core.Slot {
-	if cap(s) < n {
-		return make([]core.Slot, n)
-	}
-	return s[:n]
-}
-
 func grownInts(s []int, n int) []int {
 	if cap(s) < n {
 		return make([]int, n)
@@ -245,51 +261,102 @@ func newEngine(s core.Scheme, opt Options, sc *scratch) (*engine, error) {
 	if maxPkt < opt.Packets {
 		maxPkt = opt.Packets
 	}
-	sc.backing = grownSlots(sc.backing, (n+1)*int(maxPkt))
-	backing := sc.backing
-	for i := range backing {
-		backing[i] = unset
+	// Undo the previous run's arrival writes against the old backing, then
+	// resize. A grown matrix is freshly allocated and therefore all-unset
+	// (unset32 is the zero value); a reused one is made all-unset here by
+	// clearing exactly the packet rows the dirty bitmap marks, each one
+	// contiguous memclr of the previous run's row stride.
+	need := (n + 1) * int(maxPkt)
+	if cap(sc.arr) < need {
+		// The matrix will be freshly allocated; just forget the old writes.
+		clear(sc.dirtyRows)
+	} else {
+		for w, set := range sc.dirtyRows {
+			if set == 0 {
+				continue
+			}
+			sc.dirtyRows[w] = 0
+			for set != 0 {
+				p := w<<6 + bits.TrailingZeros64(set)
+				set &= set - 1
+				clear(sc.arr[p*sc.prevStride : (p+1)*sc.prevStride])
+			}
+		}
 	}
-	if cap(sc.rows) < n+1 {
-		sc.rows = make([][]core.Slot, n+1)
+	sc.arr = grownInt32s(sc.arr, need)
+	sc.dirtyRows = grownU64s(sc.dirtyRows, srcWords(int(maxPkt)))
+	sc.prevStride = n + 1
+
+	words := srcWords(n + 1)
+	sc.srcBits = grownU64s(sc.srcBits, words)
+	for i := range sc.srcBits {
+		sc.srcBits[i] = 0
 	}
-	arrival := sc.rows[:n+1]
-	for id := 0; id <= n; id++ {
-		arrival[id] = backing[id*int(maxPkt) : (id+1)*int(maxPkt)]
+	setSrcBit(sc.srcBits, core.SourceID)
+	for id, on := range opt.ExtraSources {
+		if on && id >= 0 && int(id) <= n {
+			setSrcBit(sc.srcBits, id)
+		}
 	}
-	sc.sent = grownInts(sc.sent, n+1)
-	sc.received = grownInts(sc.received, n+1)
+
+	// The packed epoch-stamped counters need no initialization: a stale
+	// stamp is an already-spent tick and reads as count zero.
+	sc.sentSt = grownU64s(sc.sentSt, n+1)
+	sc.recvSt = grownU64s(sc.recvSt, n+1)
+	sc.cursor = grownU64s(sc.cursor, n+1)
+	lag := noLag // two's-complement bits of the sentinel, shifted into the high half
+	curInit := uint64(uint32(lag)) << 32
+	for i := range sc.cursor {
+		sc.cursor[i] = curInit
+	}
+	if len(sc.maxArr) == 0 {
+		sc.maxArr = append(sc.maxArr, 0)
+	}
+	for i := range sc.maxArr {
+		sc.maxArr[i] = -1
+	}
+
 	fast := opt.Latency == nil && opt.Inject == nil
 	sc.eng = engine{
-		scheme:   s,
-		opt:      opt,
-		n:        n,
-		maxPkt:   maxPkt,
-		arrival:  arrival,
-		fast:     fast,
-		sent:     sc.sent,
-		received: sc.received,
-		sc:       sc,
-		obs:      opt.Observer,
+		scheme:    s,
+		opt:       opt,
+		n:         n,
+		maxPkt:    maxPkt,
+		stride:    n + 1,
+		arr:       sc.arr,
+		dirtyRows: sc.dirtyRows,
+		srcBits:   sc.srcBits,
+		fast:      fast,
+		sentSt:    sc.sentSt,
+		recvSt:    sc.recvSt,
+		cursor:    sc.cursor,
+		sc:        sc,
+		obs:       opt.Observer,
 	}
 	e := &sc.eng
+	if opt.SendCap == nil || opt.RecvCap == nil {
+		// The default capacity tables are pure functions of (n, srcCap), so
+		// repeated runs of same-shaped schemes skip the O(N) refill.
+		if sc.tabN != n+1 || sc.tabSrcCap != int32(srcCap) {
+			sc.sendTab = grownInt32s(sc.sendTab, n+1)
+			sc.recvTab = grownInt32s(sc.recvTab, n+1)
+			sc.sendTab[0] = int32(srcCap)
+			sc.recvTab[0] = 1
+			for i := 1; i <= n; i++ {
+				sc.sendTab[i] = 1
+				sc.recvTab[i] = 1
+			}
+			sc.tabN, sc.tabSrcCap = n+1, int32(srcCap)
+		}
+	}
 	if opt.SendCap != nil {
 		e.sendCap = opt.SendCap
 	} else {
-		sc.sendTab = grownInts(sc.sendTab, n+1)
-		sc.sendTab[0] = srcCap
-		for i := 1; i <= n; i++ {
-			sc.sendTab[i] = 1
-		}
 		e.sendTab = sc.sendTab
 	}
 	if opt.RecvCap != nil {
 		e.recvCap = opt.RecvCap
 	} else {
-		sc.recvTab = grownInts(sc.recvTab, n+1)
-		for i := 0; i <= n; i++ {
-			sc.recvTab[i] = 1
-		}
 		e.recvTab = sc.recvTab
 	}
 	if !fast {
@@ -297,25 +364,40 @@ func newEngine(s core.Scheme, opt Options, sc *scratch) (*engine, error) {
 		if e.latency == nil {
 			e.latency = func(core.NodeID, core.NodeID) core.Slot { return 1 }
 		}
-		e.inflight = make(map[core.Slot][]core.Transmission)
+		sc.ring.reset()
+		e.ring = &sc.ring
 	}
 	return e, nil
 }
 
+// nextTick opens a new counting phase for the epoch-stamped capacity
+// counters: any counter whose stamp predates the tick reads as zero. On the
+// (practically unreachable) uint32 wraparound the stamp arrays are cleared
+// so a stale stamp can never alias a live tick.
+func (e *engine) nextTick() uint32 {
+	e.sc.tick++
+	if e.sc.tick == 0 {
+		clear(e.sentSt)
+		clear(e.recvSt)
+		e.sc.tick = 1
+	}
+	return e.sc.tick
+}
+
 // sendCapOf returns the per-slot send capacity of a (range-checked) node.
-func (e *engine) sendCapOf(id core.NodeID) int {
+func (e *engine) sendCapOf(id core.NodeID) int32 {
 	if e.sendTab != nil {
 		return e.sendTab[id]
 	}
-	return e.sendCap(id)
+	return int32(e.sendCap(id))
 }
 
 // recvCapOf returns the per-slot receive capacity of a (range-checked) node.
-func (e *engine) recvCapOf(id core.NodeID) int {
+func (e *engine) recvCapOf(id core.NodeID) int32 {
 	if e.recvTab != nil {
 		return e.recvTab[id]
 	}
-	return e.recvCap(id)
+	return int32(e.recvCap(id))
 }
 
 // observeFail forwards a violation to the observer before the run aborts.
@@ -329,9 +411,10 @@ func (e *engine) observeFail(err error) error {
 }
 
 // isSource reports whether the node originates packets without receiving
-// them first.
+// them first. One bitmap probe — the ExtraSources map never reaches the
+// per-slot path.
 func (e *engine) isSource(id core.NodeID) bool {
-	return id == core.SourceID || e.opt.ExtraSources[id]
+	return e.srcBits[int(id)>>6]&(1<<(uint(id)&63)) != 0
 }
 
 // holds reports whether the node can transmit packet p during slot t.
@@ -348,15 +431,15 @@ func (e *engine) holds(id core.NodeID, p core.Packet, t core.Slot) bool {
 	if p >= e.maxPkt {
 		return false
 	}
-	a := e.arrival[id][p]
-	return a != unset && a < t
+	a := e.arr[int(p)*e.stride+int(id)]
+	// a stores arrival+1; the packet is forwardable from the slot after its
+	// arrival, i.e. when arrival < t  ⇔  a ≤ t.
+	return a != unset32 && core.Slot(a) <= t
 }
 
 // validateSends checks sender-side constraints for the slot's transmissions.
 func (e *engine) validateSends(t core.Slot, txs []core.Transmission) error {
-	for i := range e.sent {
-		e.sent[i] = 0
-	}
+	tick := e.nextTick()
 	for _, tx := range txs {
 		if tx.From < 0 || int(tx.From) > e.n || tx.To < 0 || int(tx.To) > e.n {
 			return &Violation{t, "node id out of range", tx}
@@ -364,8 +447,13 @@ func (e *engine) validateSends(t core.Slot, txs []core.Transmission) error {
 		if tx.From == tx.To {
 			return &Violation{t, "self transmission", tx}
 		}
-		e.sent[tx.From]++
-		if e.sent[tx.From] > e.sendCapOf(tx.From) {
+		st := e.sentSt[tx.From]
+		c := uint32(1)
+		if uint32(st>>32) == tick {
+			c = uint32(st) + 1
+		}
+		e.sentSt[tx.From] = uint64(tick)<<32 | uint64(c)
+		if int32(c) > e.sendCapOf(tx.From) {
 			return &Violation{t, "send capacity exceeded", tx}
 		}
 		if !e.holds(tx.From, tx.Packet, t) {
@@ -375,14 +463,36 @@ func (e *engine) validateSends(t core.Slot, txs []core.Transmission) error {
 	return nil
 }
 
+// noteDelivery advances the playback cursors for a window packet that was
+// just written to the arrival matrix. shard selects the writer's private
+// SlotsUsed cursor (0 for the sequential engine).
+func (e *engine) noteDelivery(shard int, id core.NodeID, p core.Packet, t core.Slot) {
+	if p >= e.opt.Packets {
+		return
+	}
+	cur := e.cursor[id]
+	got := uint32(cur) + 1
+	worst := int32(uint32(cur >> 32))
+	if lag := int32(t) - int32(p); lag > worst {
+		worst = lag
+	}
+	e.cursor[id] = uint64(uint32(worst))<<32 | uint64(got)
+	if int32(t) > e.sc.maxArr[shard] {
+		e.sc.maxArr[shard] = int32(t)
+	}
+}
+
 // deliver applies arrivals scheduled for the end of slot t.
 func (e *engine) deliver(t core.Slot, arrivals []core.Transmission) error {
-	for i := range e.received {
-		e.received[i] = 0
-	}
+	tick := e.nextTick()
 	for _, tx := range arrivals {
-		e.received[tx.To]++
-		if e.received[tx.To] > e.recvCapOf(tx.To) {
+		st := e.recvSt[tx.To]
+		c := uint32(1)
+		if uint32(st>>32) == tick {
+			c = uint32(st) + 1
+		}
+		e.recvSt[tx.To] = uint64(tick)<<32 | uint64(c)
+		if int32(c) > e.recvCapOf(tx.To) {
 			return &Violation{t, "receive capacity exceeded", tx}
 		}
 		if e.isSource(tx.To) || tx.Packet >= e.maxPkt {
@@ -393,7 +503,8 @@ func (e *engine) deliver(t core.Slot, arrivals []core.Transmission) error {
 			}
 			continue
 		}
-		if e.arrival[tx.To][tx.Packet] != unset {
+		idx := int(tx.Packet)*e.stride + int(tx.To)
+		if e.arr[idx] != unset32 {
 			if !e.opt.AllowDuplicates {
 				return &Violation{t, "duplicate packet", tx}
 			}
@@ -402,7 +513,9 @@ func (e *engine) deliver(t core.Slot, arrivals []core.Transmission) error {
 			}
 			continue
 		}
-		e.arrival[tx.To][tx.Packet] = t
+		e.arr[idx] = int32(t) + 1
+		e.dirtyRows[int(tx.Packet)>>6] |= 1 << (uint(tx.Packet) & 63)
+		e.noteDelivery(0, tx.To, tx.Packet, t)
 		if e.obs != nil {
 			e.obs.Deliver(t, tx, false)
 		}
@@ -428,8 +541,10 @@ func (e *engine) filterUnavailable(t core.Slot, txs []core.Transmission) []core.
 
 // route assigns each validated transmission to its arrival slot, applying
 // failure injection and link latency. Same-slot (latency 1) arrivals are
-// appended to sameSlot and returned; later arrivals go to the inflight map.
-// Shared by the sequential and parallel drivers.
+// appended to sameSlot and returned; later arrivals go to the in-flight
+// ring. Shared by the sequential and parallel drivers; runs single-threaded
+// in both so a deterministic Injector sees one schedule-ordered call
+// sequence.
 func (e *engine) route(t core.Slot, txs []core.Transmission, sameSlot []core.Transmission) ([]core.Transmission, error) {
 	for _, tx := range txs {
 		if e.opt.Drop != nil && e.opt.Drop(tx, t) {
@@ -472,8 +587,7 @@ func (e *engine) route(t core.Slot, txs []core.Transmission, sameSlot []core.Tra
 		if l == 1 {
 			sameSlot = append(sameSlot, tx)
 		} else {
-			at := t + l - 1
-			e.inflight[at] = append(e.inflight[at], tx)
+			e.ring.enqueue(t+l-1, tx)
 		}
 	}
 	return sameSlot, nil
@@ -481,6 +595,16 @@ func (e *engine) route(t core.Slot, txs []core.Transmission, sameSlot []core.Tra
 
 // step executes one slot on the sequential engine.
 func (e *engine) step(t core.Slot, txs []core.Transmission) error {
+	if e.obs == nil && e.fast && e.opt.Drop == nil {
+		// Fast direct path: every link takes exactly one slot and nothing
+		// observes or drops in flight, so the schedule's own slice IS the
+		// slot's arrival list — skip the route copy entirely.
+		txs = e.filterUnavailable(t, txs)
+		if err := e.validateSends(t, txs); err != nil {
+			return err
+		}
+		return e.deliver(t, txs)
+	}
 	if e.obs != nil {
 		e.obs.SlotStart(t, len(txs))
 	}
@@ -507,16 +631,15 @@ func (e *engine) step(t core.Slot, txs []core.Transmission) error {
 // transmissions due at t, built on the reusable arrival scratch buffer.
 func (e *engine) pendingArrivals(t core.Slot) []core.Transmission {
 	sameSlot := e.sc.arrive[:0]
-	if e.inflight != nil {
-		if pend := e.inflight[t]; len(pend) > 0 {
-			sameSlot = append(sameSlot, pend...)
-			delete(e.inflight, t)
-		}
+	if e.ring != nil {
+		sameSlot = e.ring.drain(t, sameSlot)
 	}
 	return sameSlot
 }
 
-// finish computes the Result after the last slot.
+// finish computes the Result after the last slot. The playback cursors
+// maintained at delivery time supply StartDelay, Missing and SlotsUsed
+// directly; only the per-node buffer-occupancy scan still walks the window.
 func (e *engine) finish() (*Result, error) {
 	r := &Result{
 		N:          e.n,
@@ -526,14 +649,30 @@ func (e *engine) finish() (*Result, error) {
 		MaxBuffer:  make([]int, e.n+1),
 		Missing:    make([]int, e.n+1),
 	}
-	// Copy arrival rows out of the reusable scratch backing: the Result must
-	// stay valid after the Runner's buffers are recycled for the next run.
+	// Copy arrival rows out of the reusable packed matrix: the Result must
+	// stay valid after the Runner's buffers are recycled for the next run,
+	// and the public rows use core.Slot with -1 = never arrived. The matrix
+	// is packet-major, so read it row by row (sequential) and scatter into
+	// the much smaller node-major output.
 	np := int(e.opt.Packets)
 	out := make([]core.Slot, (e.n+1)*np)
+	for i := range out {
+		out[i] = unset
+	}
+	for j := 0; j < np; j++ {
+		for id, a := range e.arr[j*e.stride : (j+1)*e.stride] {
+			if a != unset32 {
+				out[id*np+j] = core.Slot(a) - 1
+			}
+		}
+	}
 	for id := 0; id <= e.n; id++ {
-		row := out[id*np : (id+1)*np : (id+1)*np]
-		copy(row, e.arrival[id][:np])
-		r.Arrival[id] = row
+		r.Arrival[id] = out[id*np : (id+1)*np : (id+1)*np]
+	}
+	for _, m := range e.sc.maxArr {
+		if core.Slot(m) > r.SlotsUsed {
+			r.SlotsUsed = core.Slot(m)
+		}
 	}
 	counts := grownInts(e.sc.counts, int(e.opt.Slots))
 	e.sc.counts = counts
@@ -542,26 +681,21 @@ func (e *engine) finish() (*Result, error) {
 	}
 	for id := 1; id <= e.n; id++ {
 		row := r.Arrival[id]
-		var worst core.Slot = -1 << 30
-		for j, a := range row {
-			if a == unset {
-				if !e.opt.AllowIncomplete {
-					return nil, fmt.Errorf("slotsim: node %d never received packet %d within %d slots", id, j, e.opt.Slots)
+		cur := e.cursor[id]
+		got := int(uint32(cur))
+		if got < np {
+			if !e.opt.AllowIncomplete {
+				for j, a := range row {
+					if a == unset {
+						return nil, fmt.Errorf("slotsim: node %d never received packet %d within %d slots", id, j, e.opt.Slots)
+					}
 				}
-				r.Missing[id]++
-				continue
 			}
-			if a > r.SlotsUsed {
-				r.SlotsUsed = a
-			}
-			if lag := a - core.Slot(j); lag > worst {
-				worst = lag
-			}
+			r.Missing[id] = np - got
 		}
-		if worst == -1<<30 {
-			worst = 0 // nothing arrived at all
+		if worst := int32(uint32(cur >> 32)); worst != noLag {
+			r.StartDelay[id] = core.Slot(worst)
 		}
-		r.StartDelay[id] = worst
 		r.MaxBuffer[id] = maxBuffer(row, r.StartDelay[id], counts)
 	}
 	r.SlotsUsed++

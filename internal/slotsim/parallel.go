@@ -1,25 +1,29 @@
 package slotsim
 
 import (
-	"sort"
 	"sync"
 
 	"streamcast/internal/core"
 )
 
-// RunParallel executes the scheme with per-slot fork/join parallelism: sender
-// validation is sharded by sender ID and delivery is sharded by receiver ID,
-// so no two goroutines touch the same node's state. The result is
-// bit-identical with Run — the slot barrier is a hard synchronization point,
-// mirroring the model's lock-step slots.
+// RunParallel executes the scheme with per-slot fork/join parallelism over
+// contiguous NodeID shards: sender validation is sharded by sender ID and
+// delivery is sharded by receiver ID, so no two goroutines touch the same
+// node's state — and because each shard is a contiguous ID range sized in
+// whole cache lines of the engine's flat per-node arrays, no two workers
+// even share a cache line. The result is bit-identical with Run — the slot
+// barrier is a hard synchronization point, mirroring the model's lock-step
+// slots.
 //
-// When Options.Observer is set, each worker collects its deliveries into a
-// private shard tagged with the transmission index; the shards are merged
-// and sorted at the slot barrier before the observer is invoked, so the
-// observed event stream is identical to the sequential engine's (the parity
-// tests in internal/obs assert this byte for byte).
+// When Options.Observer is set, each worker batches its deliveries into a
+// per-shard staging buffer tagged with the transmission index; the shards
+// are k-way merged in index order at the slot barrier before the observer
+// is invoked, so the observed event stream is identical to the sequential
+// engine's (the parity tests in internal/obs assert this byte for byte).
 //
-// workers <= 0 selects GOMAXPROCS.
+// workers <= 0 selects GOMAXPROCS. Slots with little scheduled work run on
+// the sequential step under the hood — same state, same events — so worker
+// fan-out costs nothing during sparse warmup and drain phases.
 //
 // Like Run, each call draws an exclusively-owned Runner from the internal
 // pool for scratch and compiled-schedule reuse.
@@ -27,9 +31,54 @@ func RunParallel(s core.Scheme, opt Options, workers int) (*Result, error) {
 	return pooledRun(s, opt, true, workers)
 }
 
+// shardScratch is the parallel driver's reusable staging area: observer
+// delivery batches and merge cursors, one slot per worker, recycled across
+// slots and runs.
+type shardScratch struct {
+	staged [][]shardedDeliver // per-shard observer staging, merged at the barrier
+	heads  []int              // k-way merge cursors
+}
+
+// parallelCutoff is the fork/join break-even point: a slot scheduling fewer
+// transmissions than this runs on the sequential step instead (identical
+// state transitions and events, none of the goroutine overhead).
+const parallelCutoff = 64
+
+// shardAlign is the shard-boundary granularity in nodes. 64 nodes is a
+// whole number of cache lines of every per-node array — 8 lines of the
+// 8-byte packed counters and cursors, 4 of an int32 array — so no per-node
+// state line is ever written by more than one worker.
+const shardAlign = 64
+
 type parallelDriver struct {
 	*engine
+	// workers is the effective worker count: min(requested, shards needed
+	// to cover n+1 nodes at chunk granularity).
 	workers int
+	// chunk is the shard width in nodes, a multiple of shardAlign; shard w
+	// owns ids [w·chunk, (w+1)·chunk).
+	chunk int
+}
+
+// newParallelDriver sizes contiguous shards for the run and readies the
+// per-shard scratch (SlotsUsed cursors, staging buffers).
+func newParallelDriver(e *engine, workers int) *parallelDriver {
+	nodes := e.n + 1
+	chunk := (nodes + workers - 1) / workers
+	chunk = (chunk + shardAlign - 1) / shardAlign * shardAlign
+	eff := (nodes + chunk - 1) / chunk
+	p := &parallelDriver{engine: e, workers: eff, chunk: chunk}
+	sc := e.sc
+	for len(sc.maxArr) < eff {
+		sc.maxArr = append(sc.maxArr, -1)
+	}
+	if cap(sc.shards.staged) < eff {
+		staged := make([][]shardedDeliver, eff)
+		copy(staged, sc.shards.staged)
+		sc.shards.staged = staged
+	}
+	sc.shards.staged = sc.shards.staged[:eff]
+	return p
 }
 
 // firstError keeps the violation with the smallest transmission index so the
@@ -49,11 +98,30 @@ func (f *firstError) report(idx int, err error) {
 }
 
 func (p *parallelDriver) step(t core.Slot, txs []core.Transmission) error {
+	if p.obs == nil && p.fast && p.opt.Drop == nil {
+		// Fast direct path, mirroring engine.step: the schedule's slice IS
+		// the arrival list, so skip the route copy and deliver in place.
+		txs = p.filterUnavailable(t, txs)
+		if len(txs) < parallelCutoff {
+			if err := p.validateSends(t, txs); err != nil {
+				return err
+			}
+			return p.deliver(t, txs)
+		}
+		if err := p.validateSendsParallel(t, txs); err != nil {
+			return err
+		}
+		return p.deliverParallel(t, txs)
+	}
 	if p.obs != nil {
 		p.obs.SlotStart(t, len(txs))
 	}
 	txs = p.filterUnavailable(t, txs)
-	if err := p.validateSendsParallel(t, txs); err != nil {
+	if len(txs) < parallelCutoff {
+		if err := p.validateSends(t, txs); err != nil {
+			return p.observeFail(err)
+		}
+	} else if err := p.validateSendsParallel(t, txs); err != nil {
 		return p.observeFail(err)
 	}
 	sameSlot := p.pendingArrivals(t)
@@ -62,7 +130,12 @@ func (p *parallelDriver) step(t core.Slot, txs []core.Transmission) error {
 		return err
 	}
 	p.sc.arrive = sameSlot // retain grown capacity for later slots
-	if err := p.deliverParallel(t, sameSlot); err != nil {
+	if len(sameSlot) < parallelCutoff {
+		err = p.deliver(t, sameSlot)
+	} else {
+		err = p.deliverParallel(t, sameSlot)
+	}
+	if err != nil {
 		return p.observeFail(err)
 	}
 	if p.obs != nil {
@@ -71,9 +144,19 @@ func (p *parallelDriver) step(t core.Slot, txs []core.Transmission) error {
 	return nil
 }
 
-// shardFor maps a node to its owning worker.
+// shardFor maps a node to its owning worker (contiguous ranges).
 func (p *parallelDriver) shardFor(id core.NodeID) int {
-	return int(id) % p.workers
+	return int(id) / p.chunk
+}
+
+// shardRange returns the node-id range [lo, hi) owned by worker w.
+func (p *parallelDriver) shardRange(w int) (lo, hi core.NodeID) {
+	lo = core.NodeID(w * p.chunk)
+	hi = lo + core.NodeID(p.chunk)
+	if int(hi) > p.n+1 {
+		hi = core.NodeID(p.n + 1)
+	}
+	return lo, hi
 }
 
 func (p *parallelDriver) validateSendsParallel(t core.Slot, txs []core.Transmission) error {
@@ -87,21 +170,28 @@ func (p *parallelDriver) validateSendsParallel(t core.Slot, txs []core.Transmiss
 			return &Violation{t, "self transmission", tx}
 		}
 	}
-	for i := range p.sent {
-		p.sent[i] = 0
-	}
+	tick := p.nextTick()
 	var ferr firstError
 	var wg sync.WaitGroup
 	for w := 0; w < p.workers; w++ {
+		lo, hi := p.shardRange(w)
+		if lo >= hi {
+			continue
+		}
 		wg.Add(1)
-		go func(w int) {
+		go func(lo, hi core.NodeID) {
 			defer wg.Done()
 			for i, tx := range txs {
-				if p.shardFor(tx.From) != w {
+				if tx.From < lo || tx.From >= hi {
 					continue
 				}
-				p.sent[tx.From]++
-				if p.sent[tx.From] > p.sendCapOf(tx.From) {
+				st := p.sentSt[tx.From]
+				c := uint32(1)
+				if uint32(st>>32) == tick {
+					c = uint32(st) + 1
+				}
+				p.sentSt[tx.From] = uint64(tick)<<32 | uint64(c)
+				if int32(c) > p.sendCapOf(tx.From) {
 					ferr.report(i, &Violation{t, "send capacity exceeded", tx})
 					return
 				}
@@ -110,7 +200,7 @@ func (p *parallelDriver) validateSendsParallel(t core.Slot, txs []core.Transmiss
 					return
 				}
 			}
-		}(w)
+		}(lo, hi)
 	}
 	wg.Wait()
 	return ferr.err
@@ -125,70 +215,111 @@ type shardedDeliver struct {
 }
 
 func (p *parallelDriver) deliverParallel(t core.Slot, arrivals []core.Transmission) error {
-	for i := range p.received {
-		p.received[i] = 0
-	}
-	var shards [][]shardedDeliver
-	if p.obs != nil {
-		shards = make([][]shardedDeliver, p.workers)
+	tick := p.nextTick()
+	staging := p.obs != nil
+	// Pre-mark the dirty packet rows single-threaded: workers in different
+	// shards deliver the same packets, so the per-packet bitmap cannot be
+	// written concurrently. Marking a row whose write is then rejected
+	// (duplicate, capacity) only costs a redundant row clear next run.
+	for _, tx := range arrivals {
+		if tx.Packet >= 0 && tx.Packet < p.maxPkt {
+			p.dirtyRows[int(tx.Packet)>>6] |= 1 << (uint(tx.Packet) & 63)
+		}
 	}
 	var ferr firstError
 	var wg sync.WaitGroup
 	for w := 0; w < p.workers; w++ {
+		lo, hi := p.shardRange(w)
+		if lo >= hi {
+			continue
+		}
 		wg.Add(1)
-		go func(w int) {
+		go func(w int, lo, hi core.NodeID) {
 			defer wg.Done()
+			var stage []shardedDeliver
+			if staging {
+				stage = p.sc.shards.staged[w][:0]
+			}
 			for i, tx := range arrivals {
-				if p.shardFor(tx.To) != w {
+				if tx.To < lo || tx.To >= hi {
 					continue
 				}
-				p.received[tx.To]++
-				if p.received[tx.To] > p.recvCapOf(tx.To) {
+				st := p.recvSt[tx.To]
+				c := uint32(1)
+				if uint32(st>>32) == tick {
+					c = uint32(st) + 1
+				}
+				p.recvSt[tx.To] = uint64(tick)<<32 | uint64(c)
+				if int32(c) > p.recvCapOf(tx.To) {
 					ferr.report(i, &Violation{t, "receive capacity exceeded", tx})
-					return
+					break
 				}
 				if p.isSource(tx.To) || tx.Packet >= p.maxPkt {
-					if shards != nil {
-						shards[w] = append(shards[w], shardedDeliver{i, tx, false})
+					if staging {
+						stage = append(stage, shardedDeliver{i, tx, false})
 					}
 					continue
 				}
-				if p.arrival[tx.To][tx.Packet] != unset {
+				idx := int(tx.Packet)*p.stride + int(tx.To)
+				if p.arr[idx] != unset32 {
 					if !p.opt.AllowDuplicates {
 						ferr.report(i, &Violation{t, "duplicate packet", tx})
-						return
+						break
 					}
-					if shards != nil {
-						shards[w] = append(shards[w], shardedDeliver{i, tx, true})
+					if staging {
+						stage = append(stage, shardedDeliver{i, tx, true})
 					}
 					continue
 				}
-				p.arrival[tx.To][tx.Packet] = t
-				if shards != nil {
-					shards[w] = append(shards[w], shardedDeliver{i, tx, false})
+				p.arr[idx] = int32(t) + 1
+				p.noteDelivery(w, tx.To, tx.Packet, t)
+				if staging {
+					stage = append(stage, shardedDeliver{i, tx, false})
 				}
 			}
-		}(w)
+			if staging {
+				p.sc.shards.staged[w] = stage
+			}
+		}(w, lo, hi)
 	}
 	wg.Wait()
-	if p.obs != nil {
-		// Barrier merge: sort the per-worker shards back into arrival
-		// order and replay them to the observer, truncated at the first
-		// violation — the exact prefix the sequential engine emits.
+	if staging {
+		// Barrier merge: replay the per-shard delivery batches to the
+		// observer in arrival order, truncated at the first violation —
+		// the exact prefix the sequential engine emits.
 		limit := len(arrivals)
 		if ferr.err != nil {
 			limit = ferr.idx
 		}
-		var merged []shardedDeliver
-		for _, s := range shards {
-			merged = append(merged, s...)
-		}
-		sort.Slice(merged, func(a, b int) bool { return merged[a].idx < merged[b].idx })
-		for _, d := range merged {
-			if d.idx < limit {
-				p.obs.Deliver(t, d.tx, d.dup)
-			}
-		}
+		p.mergeStaged(t, limit)
 	}
 	return ferr.err
+}
+
+// mergeStaged k-way merges the per-shard staging buffers (each already in
+// ascending transmission-index order) and replays deliveries with index
+// below limit to the observer. Runs single-threaded at the slot barrier.
+func (p *parallelDriver) mergeStaged(t core.Slot, limit int) {
+	if p.obs != nil {
+		st := &p.sc.shards
+		st.heads = grownInts(st.heads, p.workers)
+		for w := range st.heads {
+			st.heads[w] = 0
+		}
+		for {
+			best := -1
+			bestIdx := int(^uint(0) >> 1) // max int
+			for w := 0; w < p.workers; w++ {
+				if h := st.heads[w]; h < len(st.staged[w]) && st.staged[w][h].idx < bestIdx {
+					best, bestIdx = w, st.staged[w][h].idx
+				}
+			}
+			if best < 0 || bestIdx >= limit {
+				return
+			}
+			d := st.staged[best][st.heads[best]]
+			st.heads[best]++
+			p.obs.Deliver(t, d.tx, d.dup)
+		}
+	}
 }

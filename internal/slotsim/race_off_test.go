@@ -1,0 +1,5 @@
+//go:build !race
+
+package slotsim_test
+
+const raceEnabled = false

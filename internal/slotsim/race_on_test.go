@@ -1,0 +1,7 @@
+//go:build race
+
+package slotsim_test
+
+// raceEnabled gates the largest test cases: under the race detector they
+// would dominate the suite without adding coverage beyond the mid-size runs.
+const raceEnabled = true

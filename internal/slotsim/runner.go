@@ -10,19 +10,32 @@ import (
 
 // scratch is the reusable allocation arena of one Runner: every buffer the
 // engine needs per run, grown on demand and recycled across runs. The
-// per-slot hot path (step/route/deliver/finish) allocates nothing; the
-// hotalloc streamvet analyzer machine-checks the map half of that invariant.
+// per-slot hot path (step/route/deliver/finish) allocates nothing in steady
+// state; the hotalloc streamvet analyzer machine-checks the map half of
+// that invariant and TestSteadyStateAllocFree pins the rest.
+//
+// All per-node state is struct-of-arrays (soa.go): flat arrays indexed by
+// NodeID, with the arrival matrix packed into one int32 array.
 type scratch struct {
-	backing  []core.Slot         // arrival matrix backing, reset to unset per run
-	rows     [][]core.Slot       // arrival row headers into backing
-	sent     []int               // per-sender count within the current slot
-	received []int               // per-receiver count within the arrival slot
-	sendTab  []int               // precomputed send capacities (default funcs only)
-	recvTab  []int               // precomputed receive capacities
-	counts   []int               // per-slot arrival counts for maxBuffer (kept zeroed)
-	filter   []core.Transmission // SkipUnavailable keep-list
-	arrive   []core.Transmission // same-slot arrival list
-	eng      engine              // engine state, reset per run
+	arr        []int32             // packed packet-major arrival matrix (slot+1; 0 = unset)
+	dirtyRows  []uint64            // packet rows of arr written this run, cleared at next run start
+	prevStride int                 // row stride (nodes) the dirtyRows bits were written under
+	srcBits    []uint64            // occupancy bitmap of packet-originating ids
+	sentSt     []uint64            // packed send counters: epoch stamp<<32 | count
+	recvSt     []uint64            // packed receive counters, same layout
+	tick       uint32              // current epoch; monotonic across runs
+	cursor     []uint64            // packed playback cursors: worstLag<<32 | got
+	maxArr     []int32             // last window arrival slot, one cursor per shard
+	sendTab    []int32             // precomputed send capacities (default funcs only)
+	recvTab    []int32             // precomputed receive capacities
+	tabN       int                 // nodes the capacity tables cover (0 = stale)
+	tabSrcCap  int32               // source capacity the tables were filled for
+	counts     []int               // per-slot arrival counts for maxBuffer (kept zeroed)
+	filter     []core.Transmission // SkipUnavailable keep-list
+	arrive     []core.Transmission // same-slot arrival list
+	ring       txRing              // in-flight transmissions keyed by arrival slot
+	shards     shardScratch        // parallel driver staging (see parallel.go)
+	eng        engine              // engine state, reset per run
 }
 
 // compiledEntry caches the outcome of compiling one scheme: dst is the
@@ -77,7 +90,7 @@ func (r *Runner) RunParallel(s core.Scheme, opt Options, workers int) (*Result, 
 	if err != nil {
 		return nil, err
 	}
-	p := &parallelDriver{engine: e, workers: workers}
+	p := newParallelDriver(e, workers)
 	for t := core.Slot(0); t < opt.Slots; t++ {
 		if err := p.step(t, s.Transmissions(t)); err != nil {
 			return nil, err

@@ -1,0 +1,148 @@
+package slotsim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"streamcast/internal/core"
+	"streamcast/internal/multitree"
+	"streamcast/internal/obs"
+	"streamcast/internal/slotsim"
+)
+
+// shardCase builds a multitree scheme with a horizon long enough to compile
+// and to exercise several steady-state periods, sized so the large-N cases
+// stay fast.
+func shardCase(t *testing.T, n, d int) (core.Scheme, slotsim.Options) {
+	t.Helper()
+	m, err := multitree.New(n, d, multitree.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := multitree.NewScheme(m, core.PreRecorded)
+	win := core.Packet(2 * d)
+	return s, slotsim.Options{
+		Slots:   core.Slot(int(win) + m.Height()*d + 2*d + 2),
+		Packets: win,
+		Mode:    core.PreRecorded,
+	}
+}
+
+// TestShardDeterminism: RunParallel must be bit-identical with Run at every
+// worker count — same Result, same fingerprint, same observer event stream —
+// regardless of how the contiguous NodeID shards fall. The sizes cover one
+// node (a single partial shard), one partial cache line, a mid-size tree,
+// and N=10^5 (many shards per worker budget; fingerprint-only, a full event
+// recording at that size would dominate the suite).
+func TestShardDeterminism(t *testing.T) {
+	sizes := []int{1, 63, 2000}
+	if !testing.Short() && !raceEnabled {
+		sizes = append(sizes, 100000)
+	}
+	for _, n := range sizes {
+		record := n <= 2000
+		s, opt := shardCase(t, n, 4)
+		refRes, refRec, refMet, err := shardRun(s, opt, record, 0)
+		if err != nil {
+			t.Fatalf("n=%d sequential: %v", n, err)
+		}
+		for _, workers := range []int{1, 2, 4, 7} {
+			res, rec, met, err := shardRun(s, opt, record, workers)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			if !reflect.DeepEqual(refRes, res) {
+				t.Errorf("n=%d workers=%d: Result differs from sequential run", n, workers)
+			}
+			if got, want := met.Fingerprint(), refMet.Fingerprint(); got != want {
+				t.Errorf("n=%d workers=%d: fingerprint %s, sequential %s", n, workers, got, want)
+			}
+			if record && !reflect.DeepEqual(refRec.Events, rec.Events) {
+				t.Errorf("n=%d workers=%d: event stream differs from sequential run", n, workers)
+			}
+		}
+	}
+}
+
+// shardRun executes one observed run; workers=0 selects the sequential
+// engine. Event recording is optional so the N=10^5 case can skip it.
+func shardRun(s core.Scheme, opt slotsim.Options, record bool, workers int) (*slotsim.Result, *obs.Recorder, *obs.Metrics, error) {
+	met := obs.NewMetrics()
+	var rec *obs.Recorder
+	if record {
+		rec = &obs.Recorder{}
+		opt.Observer = obs.Combine(rec, met)
+	} else {
+		opt.Observer = met
+	}
+	var res *slotsim.Result
+	var err error
+	if workers == 0 {
+		res, err = slotsim.Run(s, opt)
+	} else {
+		res, err = slotsim.RunParallel(s, opt, workers)
+	}
+	return res, rec, met, err
+}
+
+// TestShardDeterminismFaulted: worker-count independence must also hold
+// under fault injection — drops and delays route arrivals through the
+// latency ring and the duplicate/capacity edge cases.
+func TestShardDeterminismFaulted(t *testing.T) {
+	s, opt := shardCase(t, 2000, 3)
+	opt.Inject = parityInjector{}
+	opt.RecvCap = func(core.NodeID) int { return 2 }
+	opt.AllowIncomplete = true
+	opt.AllowDuplicates = true
+	opt.SkipUnavailable = true
+	refRes, refRec, refMet, err := shardRun(s, opt, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 7} {
+		res, rec, met, err := shardRun(s, opt, true, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(refRes, res) {
+			t.Errorf("workers=%d: faulted Result differs from sequential run", workers)
+		}
+		if got, want := met.Fingerprint(), refMet.Fingerprint(); got != want {
+			t.Errorf("workers=%d: faulted fingerprint %s, sequential %s", workers, got, want)
+		}
+		if !reflect.DeepEqual(refRec.Events, rec.Events) {
+			t.Errorf("workers=%d: faulted event stream differs from sequential run", workers)
+		}
+	}
+}
+
+// TestSteadyStateAllocFree pins the engine's zero-allocation hot path: on a
+// warmed Runner, running the same compiled scheme over a longer horizon must
+// cost exactly as many allocations as the shorter one — i.e. the extra slots
+// allocate nothing. (The fixed per-run cost — the returned Result — is the
+// same in both and cancels out.)
+func TestSteadyStateAllocFree(t *testing.T) {
+	s, opt := shardCase(t, 2000, 4)
+	long := opt
+	long.Slots += 64
+	r := slotsim.NewRunner()
+	if _, err := r.Run(s, opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(s, long); err != nil {
+		t.Fatal(err)
+	}
+	base := testing.AllocsPerRun(5, func() {
+		if _, err := r.Run(s, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ext := testing.AllocsPerRun(5, func() {
+		if _, err := r.Run(s, long); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if ext > base {
+		t.Errorf("64 extra slots cost %.0f allocations (%.0f vs %.0f): the per-slot path is not allocation-free", ext-base, ext, base)
+	}
+}

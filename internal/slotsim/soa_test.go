@@ -1,0 +1,73 @@
+package slotsim
+
+import (
+	"testing"
+
+	"streamcast/internal/core"
+)
+
+// TestTxRingOrdering: drain returns each slot's transmissions in enqueue
+// order, and an empty slot drains nothing.
+func TestTxRingOrdering(t *testing.T) {
+	var r txRing
+	r.enqueue(3, tx(0, 1, 0))
+	r.enqueue(4, tx(0, 2, 0))
+	r.enqueue(3, tx(1, 2, 1))
+	if got := r.drain(2, nil); len(got) != 0 {
+		t.Fatalf("slot 2 drained %d transmissions, want 0", len(got))
+	}
+	got := r.drain(3, nil)
+	if len(got) != 2 || got[0] != tx(0, 1, 0) || got[1] != tx(1, 2, 1) {
+		t.Fatalf("slot 3 drained %v, want enqueue order", got)
+	}
+	if got := r.drain(3, nil); len(got) != 0 {
+		t.Fatal("slot 3 drained twice")
+	}
+	if got := r.drain(4, nil); len(got) != 1 || got[0] != tx(0, 2, 0) {
+		t.Fatalf("slot 4 drained %v", got)
+	}
+}
+
+// TestTxRingGrowth: two pending slots that collide in a small ring force a
+// grow; nothing may be lost or reordered, including when a third colliding
+// slot arrives after the resize.
+func TestTxRingGrowth(t *testing.T) {
+	var r txRing
+	// Slots 1 and 9 collide mod 8 (the initial ring size); 17 collides with
+	// both mod 8 and with 1 mod 16.
+	slots := []core.Slot{1, 9, 17}
+	for i, at := range slots {
+		for j := 0; j < 3; j++ {
+			r.enqueue(at, tx(core.NodeID(i), core.NodeID(j+1), core.Packet(j)))
+		}
+	}
+	for i, at := range slots {
+		got := r.drain(at, nil)
+		if len(got) != 3 {
+			t.Fatalf("slot %d drained %d transmissions, want 3", at, len(got))
+		}
+		for j, x := range got {
+			want := tx(core.NodeID(i), core.NodeID(j+1), core.Packet(j))
+			if x != want {
+				t.Fatalf("slot %d entry %d: got %v, want %v", at, j, x, want)
+			}
+		}
+	}
+}
+
+// TestTxRingReset: reset empties all buckets but keeps capacity, so a second
+// run starting at unrelated slots sees a clean ring.
+func TestTxRingReset(t *testing.T) {
+	var r txRing
+	r.enqueue(5, tx(0, 1, 0))
+	r.enqueue(6, tx(0, 2, 1))
+	r.reset()
+	if got := r.drain(5, nil); len(got) != 0 {
+		t.Fatalf("slot 5 survived reset: %v", got)
+	}
+	// Re-enqueue into the recycled bucket at the same residue.
+	r.enqueue(5, tx(1, 2, 2))
+	if got := r.drain(5, nil); len(got) != 1 || got[0] != tx(1, 2, 2) {
+		t.Fatalf("recycled bucket drained %v", got)
+	}
+}

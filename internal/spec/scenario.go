@@ -35,8 +35,10 @@ type Scenario struct {
 	// Engine selects the execution engine ("slotsim", "runtime"); empty
 	// means slotsim.
 	Engine string
-	// Parallel selects the goroutine-parallel slotsim engine; Workers is
-	// its worker count (0 = GOMAXPROCS).
+	// Parallel selects the sharded slotsim engine (contiguous NodeID
+	// shards, one worker each; results are bit-identical at any worker
+	// count); Workers is its worker count (0 = GOMAXPROCS, at most
+	// maxWorkers).
 	Parallel bool
 	Workers  int
 	// Check runs the static schedule/mesh verifier as a preflight.
@@ -51,6 +53,11 @@ type Scenario struct {
 	TraceOut   string
 	ReportOut  string
 }
+
+// maxWorkers caps the parallel engine's worker count: the sharded engine
+// never uses more shards than nodes, and a scenario asking for thousands of
+// goroutines is a typo, not a tuning choice.
+const maxWorkers = 1024
 
 // setParam records an explicitly set parameter.
 func (sc *Scenario) setParam(name, value string) {
@@ -134,6 +141,9 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.Workers < 0 {
 		return fmt.Errorf("spec: workers must be >= 0, got %d", sc.Workers)
+	}
+	if sc.Workers > maxWorkers {
+		return fmt.Errorf("spec: workers must be <= %d, got %d (the sharded engine clamps shards to the node count; results are worker-count independent, so more workers than cores only adds overhead)", maxWorkers, sc.Workers)
 	}
 	if sc.Check && !f.Caps.StaticCheck {
 		return fmt.Errorf("spec: scheme %s is not statically checkable (no closed-form schedule for internal/check); drop the check directive", sc.Scheme)

@@ -143,6 +143,14 @@ func TestValidateCLIShapes(t *testing.T) {
 	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "fault seed without a fault plan") {
 		t.Errorf("fault seed without plan: %v", err)
 	}
+	sc = &Scenario{Scheme: "multitree", Parallel: true, Workers: maxWorkers + 1}
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "workers must be <=") {
+		t.Errorf("workers above cap: %v", err)
+	}
+	sc = &Scenario{Scheme: "multitree", Parallel: true, Workers: maxWorkers}
+	if err := sc.Validate(); err != nil {
+		t.Errorf("workers at cap rejected: %v", err)
+	}
 }
 
 func TestLoadResolvesFaultsPath(t *testing.T) {
