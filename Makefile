@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint bench benchsmoke bench-json fuzz chaos scenarios ci clean
+.PHONY: build test race vet lint lint-json lint-fix-check bench benchsmoke bench-json fuzz chaos scenarios ci clean
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,12 @@ test:
 
 # Race pass over the packages with real concurrency: the parallel engine,
 # the observer event merging layered on it, and the fault-injection suite
-# (whose parity tests drive both engines and the concurrent runtime).
+# (whose parity tests drive both engines and the concurrent runtime). The
+# concurrency analyzers (shardsafe/barrierphase) run alongside: the same
+# invariants the race detector observes dynamically are proven statically.
 race:
 	$(GO) test -race ./internal/slotsim/... ./internal/obs/... ./internal/runtime/... ./internal/integration/... ./internal/faults/...
+	$(GO) run ./cmd/streamvet -analyzers shardsafe,barrierphase
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +29,20 @@ vet:
 # STATIC_ANALYSIS.md) over every package in the module.
 lint:
 	$(GO) run ./cmd/streamvet
+
+# Machine-readable findings (one JSON array of file/line/col/analyzer/message
+# records) for CI annotations and editor integration. Exit status matches
+# `make lint`: non-zero when anything is reported.
+lint-json:
+	$(GO) run ./cmd/streamvet -json
+
+# CI gate asserting the repo is clean under every analyzer: the -json stream
+# must be exactly the empty array, so stray stdout noise or a partial run
+# cannot masquerade as a clean pass.
+lint-fix-check:
+	@out="$$($(GO) run ./cmd/streamvet -json)" || { printf '%s\n' "$$out"; echo "lint-fix-check: streamvet reported findings"; exit 1; }; \
+	clean="$$(printf '%s' "$$out" | tr -d '[:space:]')"; \
+	[ "$$clean" = "[]" ] || { printf '%s\n' "$$out"; echo "lint-fix-check: expected empty findings array"; exit 1; }
 
 # Full benchmark sweep (one iteration each) — doubles as a reproduction
 # record; see bench_test.go.
@@ -69,7 +86,7 @@ chaos:
 scenarios:
 	$(GO) test ./internal/spec -run 'TestScenarioCorpus|TestCorpusScenariosCanonical|TestNoStrayConstruction' -count=1 -v
 
-ci: build vet lint test race fuzz chaos scenarios benchsmoke
+ci: build vet lint lint-fix-check test race fuzz chaos scenarios benchsmoke
 
 clean:
 	$(GO) clean ./...

@@ -6,12 +6,17 @@
 //	streamvet                     check every package of the module
 //	streamvet -analyzers slottypes,obsguard
 //	streamvet -list               print the analyzers and exit
+//	streamvet -json               machine-readable findings on stdout
 //
 // Exit status is 1 when any diagnostic (or type-check failure) is reported,
-// 0 otherwise, so `make lint` can gate CI on it.
+// 0 otherwise, so `make lint` can gate CI on it. With -json the findings are
+// emitted as one JSON array of {file,line,col,analyzer,message} records
+// (type-check failures appear with analyzer "typecheck"), so editor and CI
+// integrations do not have to parse the human format.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,11 +24,21 @@ import (
 	"streamcast/internal/lint"
 )
 
+// finding is the -json record for one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	var (
 		analyzers = flag.String("analyzers", "all", "comma-separated analyzer names, or 'all'")
 		list      = flag.Bool("list", false, "list available analyzers and exit")
 		dir       = flag.String("dir", ".", "directory inside the module to check")
+		asJSON    = flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	)
 	flag.Parse()
 
@@ -46,18 +61,37 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	failed := false
+	// Findings collect into one list so -json emits a single array; the
+	// human path streams them in the conventional file:line:col form.
+	findings := []finding{}
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
-			failed = true
-			fmt.Fprintf(os.Stderr, "%v\n", terr)
+			findings = append(findings, finding{Analyzer: "typecheck", Message: terr.Error()})
+			if !*asJSON {
+				fmt.Fprintf(os.Stderr, "%v\n", terr)
+			}
 		}
 	}
 	for _, d := range lint.RunAnalyzers(pkgs, selected) {
-		failed = true
-		fmt.Println(d)
+		findings = append(findings, finding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+		if !*asJSON {
+			fmt.Println(d)
+		}
 	}
-	if failed {
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if len(findings) > 0 {
 		os.Exit(1)
 	}
 }

@@ -152,10 +152,14 @@ func (r *Report) HasKind(kind string) bool {
 
 // verifier is the working state of one Static run.
 type verifier struct {
-	scheme  core.Scheme
-	opt     Options
-	n       int
-	maxPkt  core.Packet
+	scheme core.Scheme
+	opt    Options
+	n      int
+	maxPkt core.Packet
+	// txAt generates slot t's transmissions. Static reads the scheme;
+	// VerifyCompiled substitutes a direct interpretation of the compiled
+	// window so the snapshot is proven, not the generator.
+	txAt    func(t core.Slot) []core.Transmission
 	arrival [][]core.Slot
 	report  *Report
 	// residues[sender] is the set of packet residues mod TreeDegree the
@@ -182,14 +186,26 @@ func Static(s core.Scheme, opt Options) (*Report, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("check: scheme has %d receivers", n)
 	}
-	if opt.MaxIssues == 0 {
-		opt.MaxIssues = 32
-	}
 	// Periodic schemes are verified against a compiled snapshot of one
 	// schedule period: both the interpreter pass and the mesh audit then read
 	// precomputed slots instead of regenerating them.
 	if c := core.CompileForRun(s, opt.Horizon); c != nil {
 		s = c
+	}
+	v := newVerifier(s, opt)
+	v.interpret()
+	v.auditMesh()
+	v.crossCheck()
+	return v.report, nil
+}
+
+// newVerifier builds the working state shared by Static and VerifyCompiled:
+// option defaults, the arrival matrix, and the schedule reader (the scheme
+// itself until a caller overrides txAt).
+func newVerifier(s core.Scheme, opt Options) *verifier {
+	n := s.NumReceivers()
+	if opt.MaxIssues == 0 {
+		opt.MaxIssues = 32
 	}
 	srcCap := s.SourceCapacity()
 	if opt.SendCap == nil {
@@ -215,6 +231,7 @@ func Static(s core.Scheme, opt Options) (*Report, error) {
 		opt:              opt,
 		n:                n,
 		maxPkt:           maxPkt,
+		txAt:             s.Transmissions,
 		arrival:          make([][]core.Slot, n+1),
 		report:           &Report{Scheme: s.Name()},
 		residues:         make(map[core.NodeID]map[int]bool),
@@ -228,10 +245,7 @@ func Static(s core.Scheme, opt Options) (*Report, error) {
 		}
 		v.arrival[id] = row
 	}
-	v.interpret()
-	v.auditMesh()
-	v.crossCheck()
-	return v.report, nil
+	return v
 }
 
 // issue records a finding, honoring the cap.
@@ -279,7 +293,7 @@ func (v *verifier) interpret() {
 		}
 		arrivals := inflight[t]
 		delete(inflight, t)
-		for _, tx := range v.scheme.Transmissions(t) {
+		for _, tx := range v.txAt(t) {
 			if tx.From < 0 || int(tx.From) > v.n || tx.To < 0 || int(tx.To) > v.n {
 				v.issue(Issue{Slot: t, Kind: KindRange, Tx: tx})
 				continue
@@ -424,7 +438,7 @@ func (v *verifier) auditMesh() {
 	// the paper argues for.
 	reported := make(map[[2]core.NodeID]bool)
 	for t := core.Slot(0); t < v.opt.Horizon; t++ {
-		for _, tx := range v.scheme.Transmissions(t) {
+		for _, tx := range v.txAt(t) {
 			if tx.From < 0 || int(tx.From) > v.n || tx.To < 0 || int(tx.To) > v.n || tx.From == tx.To {
 				continue // already reported by interpret
 			}

@@ -1,0 +1,123 @@
+package check_test
+
+import (
+	"testing"
+
+	"streamcast/internal/check"
+	"streamcast/internal/core"
+)
+
+// compiledMultiTree compiles the structured multi-tree schedule and returns
+// the snapshot with its paper-bound check options.
+func compiledMultiTree(t *testing.T, n, d int) (*core.CompiledScheme, check.Options) {
+	t.Helper()
+	_, s := mustMultiTree(t, n, d)
+	opt := check.MultiTreeOptions(s, core.Packet(3*d))
+	c := core.CompileSchedule(s)
+	if c == nil {
+		t.Fatal("multi-tree schedule did not compile")
+	}
+	return c, opt
+}
+
+// TestVerifyCompiledClean: the compiled window proves the same properties as
+// the interpreted path, and the two verifiers agree on the measured
+// delay/buffer frontier.
+func TestVerifyCompiledClean(t *testing.T) {
+	c, opt := compiledMultiTree(t, 20, 3)
+	rep, err := check.VerifyCompiled(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("compiled window rejected: %v", rep.Issues)
+	}
+	srep, err := check.Static(c.Source(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WorstDelay != srep.WorstDelay || rep.WorstBuffer != srep.WorstBuffer {
+		t.Errorf("compiled verifier measured delay %d / buffer %d, interpreted path %d / %d",
+			rep.WorstDelay, rep.WorstBuffer, srep.WorstDelay, srep.WorstBuffer)
+	}
+}
+
+// TestVerifyCompiledAfterShift: verification reads the per-residue shifts
+// live, so a snapshot whose steady segments were already advanced to a far
+// epoch by regular Transmissions traffic still verifies clean.
+func TestVerifyCompiledAfterShift(t *testing.T) {
+	c, opt := compiledMultiTree(t, 20, 3)
+	steady, period, _, _ := c.Window()
+	// Advance two residues to different epochs before verifying.
+	c.Transmissions(steady + 5*period)
+	c.Transmissions(steady + 3*period + 1)
+	rep, err := check.VerifyCompiled(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("shifted snapshot rejected: %v", rep.Issues)
+	}
+}
+
+// TestVerifyCompiledSeededCorruptions: mutating the snapshot through the
+// aliased Window() slices must surface the corruption as the matching
+// window issue kind — the compiler's compile-time verification pass is no
+// longer the only guardian of the artifact.
+func TestVerifyCompiledSeededCorruptions(t *testing.T) {
+	t.Run("steady packet corrupted", func(t *testing.T) {
+		c, opt := compiledMultiTree(t, 20, 3)
+		steady, _, backing, off := c.Window()
+		seg := backing[off[steady]:off[steady+1]]
+		if len(seg) == 0 {
+			t.Fatal("empty first steady segment")
+		}
+		seg[0].Packet += 2
+		rep, err := check.VerifyCompiled(c, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.HasKind(check.KindSourceMismatch) {
+			t.Fatalf("corrupted packet not caught as %q: %v", check.KindSourceMismatch, rep.Issues)
+		}
+	})
+
+	t.Run("warmup receiver corrupted", func(t *testing.T) {
+		c, opt := compiledMultiTree(t, 20, 3)
+		steady, _, backing, off := c.Window()
+		if steady == 0 || off[1] == off[0] {
+			t.Skip("schedule has no populated warmup slot")
+		}
+		tx := &backing[off[0]]
+		tx.To = core.NodeID(c.NumReceivers()) // valid id, wrong edge
+		if tx.To == tx.From {
+			tx.To--
+		}
+		rep, err := check.VerifyCompiled(c, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.HasKind(check.KindSourceMismatch) {
+			t.Fatalf("corrupted receiver not caught as %q: %v", check.KindSourceMismatch, rep.Issues)
+		}
+	})
+
+	t.Run("offsets corrupted", func(t *testing.T) {
+		c, opt := compiledMultiTree(t, 20, 3)
+		_, _, _, off := c.Window()
+		if len(off) < 3 {
+			t.Fatal("window too small to corrupt")
+		}
+		off[1] = off[2] + 1 // offsets must be non-decreasing
+		rep, err := check.VerifyCompiled(c, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.HasKind(check.KindWindowShape) {
+			t.Fatalf("corrupted offsets not caught as %q: %v", check.KindWindowShape, rep.Issues)
+		}
+		if rep.HasKind(check.KindSourceMismatch) || rep.HasKind(check.KindWindowMismatch) {
+			t.Fatalf("malformed window should short-circuit before agreement: %v", rep.Issues)
+		}
+	})
+}

@@ -168,6 +168,22 @@ func (c *CompiledScheme) Period() Slot { return c.period }
 // SteadyState implements PeriodicScheme.
 func (c *CompiledScheme) SteadyState() Slot { return c.steady }
 
+// Window exposes the compiled snapshot for symbolic verification: the
+// warmup length, the period, the flat backing array and the slot offsets
+// (off[i]..off[i+1] bounds slot i of the W+P stored slots). The returned
+// slices alias the snapshot's internals — read-only for production callers,
+// aliased on purpose so verifier tests can seed corruptions through them.
+func (c *CompiledScheme) Window() (steady, period Slot, backing []Transmission, off []int) {
+	return c.steady, c.period, c.backing, c.off
+}
+
+// Shift returns the packet offset currently applied in place to the stored
+// segment of one period residue (see Transmissions). Symbolic verification
+// reads it live so interleaved Transmissions calls stay consistent.
+func (c *CompiledScheme) Shift(residue int) int {
+	return c.shift[residue]
+}
+
 // Transmissions implements core.Scheme without allocating: warmup slots are
 // verbatim sub-slices of the snapshot; steady-state slots shift their period
 // segment's packets in place to the requested epoch before returning it.

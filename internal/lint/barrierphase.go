@@ -1,0 +1,391 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// phaseNames maps //phase: directive names to their position in the engine's
+// documented per-slot order. Phase 0 means "no phase constraint yet".
+var phaseNames = map[string]int{
+	"validate": 1,
+	"deliver":  2,
+	"merge":    3,
+}
+
+// phaseLabel is the inverse of phaseNames, for diagnostics.
+var phaseLabel = map[int]string{1: "validate", 2: "deliver", 3: "merge"}
+
+// BarrierPhase machine-checks the slot-barrier protocol of internal/slotsim.
+// Engine functions carry //phase:validate, //phase:deliver or //phase:merge
+// directives in their doc comments; within any one function body the
+// analyzer proves that
+//
+//   - phase functions are invoked in non-decreasing documented order along
+//     every control-flow path (branches are checked independently, a path
+//     that returns does not constrain its continuation, and loop bodies
+//     start a fresh slot cycle);
+//   - no phase function is ever called from inside a spawned goroutine
+//     closure — phases ARE the barriers, so they run on the driver
+//     goroutine only;
+//   - a function that spawns goroutines joins them with a
+//     (*sync.WaitGroup).Wait before returning, and while goroutines are in
+//     flight it calls nothing whose effects summary writes state or emits
+//     output (the in-flight workers own all mutation until the join).
+var BarrierPhase = &Analyzer{
+	Name: "barrierphase",
+	Doc: "slotsim barrier phases (//phase: directives) must run in " +
+		"validate→deliver→merge order on every path, never inside goroutine " +
+		"closures, and spawned workers must be joined with WaitGroup.Wait " +
+		"before any other effectful call",
+	Run: runBarrierPhase,
+}
+
+func runBarrierPhase(pass *Pass) {
+	if !pathHasPrefix(pass.Path, "streamcast/internal/slotsim") &&
+		pass.Path != "streamcast/internal/fixture/barrierphase" {
+		return
+	}
+	phases := collectPhaseDirectives(pass)
+	if len(phases) == 0 {
+		return
+	}
+	pc := &phaseChecker{pass: pass, phases: phases}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			pc.walkStmts(fd.Body.List, 0)
+			pc.checkSpawnJoin(fd)
+		}
+	}
+}
+
+// collectPhaseDirectives reads //phase:<name> directives off function doc
+// comments and returns the package's phase map keyed by qualified name.
+func collectPhaseDirectives(pass *Pass) map[string]int {
+	phases := make(map[string]int)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "phase:") {
+					continue
+				}
+				rest := strings.Fields(strings.TrimPrefix(text, "phase:"))
+				name := ""
+				if len(rest) > 0 {
+					name = rest[0]
+				}
+				p, ok := phaseNames[name]
+				if !ok {
+					pass.Reportf(c.Pos(),
+						"unknown barrier phase %q; the engine's phases are validate, deliver, merge", name)
+					continue
+				}
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					phases[funcKey(fn)] = p
+				}
+			}
+		}
+	}
+	return phases
+}
+
+// phaseChecker holds the per-package state for the ordered walk.
+type phaseChecker struct {
+	pass   *Pass
+	phases map[string]int
+}
+
+// phaseOf resolves a call's barrier phase (0 for non-phase callees).
+func (pc *phaseChecker) phaseOf(call *ast.CallExpr) int {
+	fn := calleeFuncOf(pc.pass, call)
+	if fn == nil {
+		return 0
+	}
+	return pc.phases[funcKey(fn)]
+}
+
+// scanCalls folds every call inside one simple statement (or expression)
+// into the current phase, reporting regressions. Function literals are
+// skipped: a closure's body runs at its call site, not here.
+func (pc *phaseChecker) scanCalls(n ast.Node, cur int) int {
+	if n == nil {
+		return cur
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		p := pc.phaseOf(call)
+		if p == 0 {
+			return true
+		}
+		if p < cur {
+			pc.pass.Reportf(call.Pos(),
+				"phase %s function called after phase %s; the slot barrier runs validate→deliver→merge",
+				phaseLabel[p], phaseLabel[cur])
+			return true
+		}
+		cur = p
+		return true
+	})
+	return cur
+}
+
+// walkStmts checks one statement list path-sensitively, starting from phase
+// cur. It returns the exit phase and whether every path through the list
+// terminates (return/branch out).
+func (pc *phaseChecker) walkStmts(list []ast.Stmt, cur int) (int, bool) {
+	for _, st := range list {
+		var terminated bool
+		cur, terminated = pc.walkStmt(st, cur)
+		if terminated {
+			return cur, true
+		}
+	}
+	return cur, false
+}
+
+// walkStmt checks a single statement. Branch constructs evaluate each arm
+// independently from the entry phase; arms that terminate do not constrain
+// the continuation, and the continuation resumes at the maximum exit phase
+// of the surviving arms.
+func (pc *phaseChecker) walkStmt(st ast.Stmt, cur int) (int, bool) {
+	switch x := st.(type) {
+	case *ast.ReturnStmt:
+		return pc.scanCalls(x, cur), true
+	case *ast.BranchStmt:
+		return cur, true
+	case *ast.BlockStmt:
+		return pc.walkStmts(x.List, cur)
+	case *ast.IfStmt:
+		cur = pc.scanCalls(x.Init, cur)
+		cur = pc.scanCalls(x.Cond, cur)
+		thenExit, thenDone := pc.walkStmts(x.Body.List, cur)
+		exit, allDone := cur, false
+		if !thenDone && thenExit > exit {
+			exit = thenExit
+		}
+		if x.Else != nil {
+			elseExit, elseDone := pc.walkStmt(x.Else, cur)
+			if !elseDone && elseExit > exit {
+				exit = elseExit
+			}
+			allDone = thenDone && elseDone
+		}
+		return exit, allDone
+	case *ast.ForStmt:
+		// Each iteration is a fresh slot cycle: the body is checked from
+		// phase zero and contributes nothing to the continuation.
+		pc.scanCalls(x.Init, cur)
+		pc.scanCalls(x.Cond, 0)
+		pc.walkStmts(x.Body.List, 0)
+		pc.scanCalls(x.Post, 0)
+		return cur, false
+	case *ast.RangeStmt:
+		pc.scanCalls(x.X, cur)
+		pc.walkStmts(x.Body.List, 0)
+		return cur, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return pc.walkBranches(x, cur)
+	case *ast.GoStmt:
+		pc.checkClosurePhases(x)
+		return cur, false
+	case *ast.DeferStmt:
+		// Runs at function exit; no ordering constraint here.
+		return cur, false
+	case *ast.LabeledStmt:
+		return pc.walkStmt(x.Stmt, cur)
+	default:
+		return pc.scanCalls(st, cur), false
+	}
+}
+
+// walkBranches handles switch/select: every clause is a path of its own.
+func (pc *phaseChecker) walkBranches(st ast.Stmt, cur int) (int, bool) {
+	var body *ast.BlockStmt
+	switch x := st.(type) {
+	case *ast.SwitchStmt:
+		cur = pc.scanCalls(x.Init, cur)
+		cur = pc.scanCalls(x.Tag, cur)
+		body = x.Body
+	case *ast.TypeSwitchStmt:
+		cur = pc.scanCalls(x.Init, cur)
+		body = x.Body
+	case *ast.SelectStmt:
+		body = x.Body
+	}
+	exit := cur
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+		case *ast.CommClause:
+			stmts = c.Body
+		}
+		if e, done := pc.walkStmts(stmts, cur); !done && e > exit {
+			exit = e
+		}
+	}
+	return exit, false
+}
+
+// checkClosurePhases forbids phase-function calls inside a spawned closure.
+func (pc *phaseChecker) checkClosurePhases(gs *ast.GoStmt) {
+	lit, ok := gs.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if p := pc.phaseOf(call); p != 0 {
+			pc.pass.Reportf(call.Pos(),
+				"phase %s function called inside a goroutine closure; barrier phases run on the driver goroutine only",
+				phaseLabel[p])
+		}
+		return true
+	})
+}
+
+// checkSpawnJoin enforces the fork/join discipline on a function that spawns
+// goroutines: a (*sync.WaitGroup).Wait must follow, and between the first
+// spawn and the join nothing with a writing or emitting effects summary may
+// be called (the in-flight workers own all mutation until the barrier).
+// The scan is linear in source order; a loop body containing a spawn is
+// scanned a second time with workers in flight, since later iterations run
+// concurrently with goroutines spawned by earlier ones.
+func (pc *phaseChecker) checkSpawnJoin(fd *ast.FuncDecl) {
+	spawns := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			spawns = true
+			return false
+		}
+		return true
+	})
+	if !spawns {
+		return
+	}
+	inFlight := pc.spawnScan(fd.Body.List, false)
+	if inFlight {
+		pc.pass.Reportf(fd.Pos(),
+			"%s spawns goroutines but does not join them with (*sync.WaitGroup).Wait before returning",
+			fd.Name.Name)
+	}
+}
+
+// spawnScan walks statements in source order tracking whether spawned
+// goroutines are in flight, reporting effectful calls made while they are.
+// It returns the in-flight state at the end of the list.
+func (pc *phaseChecker) spawnScan(list []ast.Stmt, inFlight bool) bool {
+	for _, st := range list {
+		inFlight = pc.spawnScanStmt(st, inFlight)
+	}
+	return inFlight
+}
+
+func (pc *phaseChecker) spawnScanStmt(st ast.Stmt, inFlight bool) bool {
+	switch x := st.(type) {
+	case *ast.GoStmt:
+		return true
+	case *ast.BlockStmt:
+		return pc.spawnScan(x.List, inFlight)
+	case *ast.IfStmt:
+		in := pc.spawnScan(x.Body.List, inFlight)
+		if x.Else != nil {
+			in = pc.spawnScanStmt(x.Else, inFlight) || in
+		}
+		return in
+	case *ast.ForStmt:
+		in := pc.spawnScan(x.Body.List, inFlight)
+		if in && !inFlight {
+			// Later iterations run concurrently with earlier spawns.
+			pc.spawnScan(x.Body.List, true)
+		}
+		return in
+	case *ast.RangeStmt:
+		in := pc.spawnScan(x.Body.List, inFlight)
+		if in && !inFlight {
+			pc.spawnScan(x.Body.List, true)
+		}
+		return in
+	case *ast.DeferStmt:
+		return inFlight
+	default:
+		if !inFlight {
+			return inFlight
+		}
+		joined := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pc.isWaitCall(call) {
+				joined = true
+				return true
+			}
+			pc.checkInFlightCall(call)
+			return true
+		})
+		if joined {
+			return false
+		}
+		return inFlight
+	}
+}
+
+// isWaitCall matches (*sync.WaitGroup).Wait.
+func (pc *phaseChecker) isWaitCall(call *ast.CallExpr) bool {
+	fn := calleeFuncOf(pc.pass, call)
+	if fn == nil || fn.Name() != "Wait" || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync"
+}
+
+// checkInFlightCall reports a call whose effects conflict with in-flight
+// shard workers: module callees that write state or emit output. sync
+// primitives and mutex-guarded helpers are the sanctioned exceptions.
+func (pc *phaseChecker) checkInFlightCall(call *ast.CallExpr) {
+	fn := calleeFuncOf(pc.pass, call)
+	if fn == nil {
+		return
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+		mutexGuardedType(sig.Recv().Type()) {
+		return
+	}
+	fx := pc.pass.Effects.Of(fn)
+	if fx == nil {
+		return
+	}
+	if fx.WritesAnything() || fx.Emits {
+		pc.pass.Reportf(call.Pos(),
+			"%s writes state while spawned goroutines are in flight; join the workers with Wait before calling it",
+			fn.Name())
+	}
+}

@@ -10,11 +10,15 @@ import (
 // code: a call statement (plain, go, or defer) whose callee returns an error
 // must assign or check it.
 //
-// Two documented escape hatches keep the signal high:
+// The documented escape hatches keep the signal high:
 //   - fmt.Print*/Fprint* — formatted output in this repo goes to stdout,
 //     strings.Builder or tabwriters whose failures surface elsewhere;
 //   - methods of strings.Builder and bytes.Buffer, which are documented to
-//     never return a non-nil error.
+//     never return a non-nil error;
+//   - Write on a hash.Hash/Hash32/Hash64 or maphash.Hash — the hash.Hash
+//     contract is "it never returns an error";
+//   - methods of *math/rand.Rand — the draw methods have no error result and
+//     Read is documented to always return a nil error.
 //
 // Anything else (Close, Flush, encoders, ...) either handles the error or
 // carries a //lint:ignore checkederr comment saying why not.
@@ -88,6 +92,20 @@ func errAllowlisted(pass *Pass, call *ast.CallExpr) bool {
 	if !ok {
 		return false
 	}
+	// Hash writes and rand draws classify by the receiver expression's static
+	// type: the methods themselves resolve to embedded interfaces (io.Writer
+	// inside hash.Hash), so the *types.Func receiver alone cannot tell a hash
+	// write from an arbitrary Write.
+	if full := namedTypeOf(pass, sel.X); full != "" {
+		switch full {
+		case "hash.Hash", "hash.Hash32", "hash.Hash64", "hash/maphash.Hash":
+			if strings.HasPrefix(fn.Name(), "Write") {
+				return true
+			}
+		case "math/rand.Rand":
+			return true
+		}
+	}
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok {
 		return false
@@ -106,6 +124,23 @@ func errAllowlisted(pass *Pass, call *ast.CallExpr) bool {
 	}
 	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
 	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+// namedTypeOf returns the pkgpath-qualified name of an expression's static
+// type after pointer dereference, or "" when it is not a named type.
+func namedTypeOf(pass *Pass, e ast.Expr) string {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
 }
 
 // calleeName renders the called expression for the diagnostic.

@@ -110,3 +110,13 @@ func TestCheckedErrFixture(t *testing.T) { runFixture(t, "checkederr", CheckedEr
 func TestHotAllocFixture(t *testing.T) { runFixture(t, "hotalloc", HotAlloc) }
 
 func TestConstructionFixture(t *testing.T) { runFixture(t, "construction", Construction) }
+
+// TestIgnoreSpanFixture is the regression test for //lint:ignore above
+// multi-line statements: the directive must cover the whole statement span.
+func TestIgnoreSpanFixture(t *testing.T) { runFixture(t, "ignorespan", CheckedErr) }
+
+func TestShardSafeFixture(t *testing.T) { runFixture(t, "shardsafe", ShardSafe) }
+
+func TestMapOrderFixture(t *testing.T) { runFixture(t, "maporder", MapOrder) }
+
+func TestBarrierPhaseFixture(t *testing.T) { runFixture(t, "barrierphase", BarrierPhase) }

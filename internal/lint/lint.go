@@ -31,6 +31,9 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Effects is the module-wide interprocedural effects index (effects.go),
+	// computed once per RunAnalyzers invocation over every loaded package.
+	Effects *Effects
 
 	diags *[]Diagnostic
 }
@@ -68,11 +71,30 @@ func (d Diagnostic) String() string {
 const ignoreDirective = "lint:ignore"
 
 // suppressions maps file -> line -> analyzer names ignored on that line.
-// A directive suppresses findings on its own line and on the line below it
-// (the usual "comment above the statement" placement).
+// A directive suppresses findings on its own line and over the full line
+// span of the statement (or declaration) that starts on its own line or the
+// line below it — the usual "comment above the statement" placement keeps
+// working when the statement spans multiple lines and the finding is
+// reported on one of the later ones.
 type suppressions map[string]map[int]map[string]bool
 
-// collectSuppressions scans a file's comments for //lint:ignore directives.
+// add marks the analyzer names as ignored on one line of a file.
+func (s suppressions) add(file string, line int, names []string) {
+	byLine := s[file]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		s[file] = byLine
+	}
+	if byLine[line] == nil {
+		byLine[line] = make(map[string]bool)
+	}
+	for _, name := range names {
+		byLine[line][name] = true
+	}
+}
+
+// collectSuppressions scans a file's comments for //lint:ignore directives
+// and extends each one over the whole span of the statement it annotates.
 func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 	sup := make(suppressions)
 	for _, f := range files {
@@ -88,23 +110,74 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				byLine := sup[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
-					sup[pos.Filename] = byLine
-				}
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					if byLine[line] == nil {
-						byLine[line] = make(map[string]bool)
-					}
-					for _, name := range strings.Split(fields[0], ",") {
-						byLine[line][name] = true
+				names := strings.Split(fields[0], ",")
+				sup.add(pos.Filename, pos.Line, names)
+				sup.add(pos.Filename, pos.Line+1, names)
+				// A directive above a statement that spans lines suppresses
+				// findings anywhere inside it, not just on its first line.
+				if from, to := stmtSpan(fset, f, pos.Line); to > from {
+					for line := from; line <= to; line++ {
+						sup.add(pos.Filename, line, names)
 					}
 				}
 			}
 		}
 	}
 	return sup
+}
+
+// stmtSpan locates the outermost statement or declaration starting on the
+// directive's own line or the line below it and returns its line span.
+// Simple statements (calls, assignments, go/defer, returns, declarations)
+// cover their full extent; compound statements (if/for/switch/func) cover
+// only their header up to the opening of the body, so a directive above an
+// `if` does not silently blanket the whole block. Returns (0, 0) when no
+// statement starts there.
+func stmtSpan(fset *token.FileSet, f *ast.File, directiveLine int) (from, to int) {
+	line := func(p token.Pos) int { return fset.Position(p).Line }
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || from != 0 {
+			return false
+		}
+		var end token.Pos
+		switch x := n.(type) {
+		case *ast.BlockStmt, *ast.File, *ast.CaseClause, *ast.CommClause:
+			return true // transparent containers: keep descending
+		case *ast.IfStmt:
+			end = x.Body.Pos()
+		case *ast.ForStmt:
+			end = x.Body.Pos()
+		case *ast.RangeStmt:
+			end = x.Body.Pos()
+		case *ast.SwitchStmt:
+			end = x.Body.Pos()
+		case *ast.TypeSwitchStmt:
+			end = x.Body.Pos()
+		case *ast.SelectStmt:
+			end = x.Body.Pos()
+		case *ast.FuncDecl:
+			if x.Body == nil {
+				end = x.End()
+			} else {
+				end = x.Body.Pos()
+			}
+		case ast.Stmt:
+			end = x.End()
+		case ast.Decl:
+			end = x.End()
+		default:
+			return true
+		}
+		start := line(n.Pos())
+		if start == directiveLine || start == directiveLine+1 {
+			from, to = start, line(end)
+			return false
+		}
+		// Headers matched above may still contain the annotated statement
+		// (e.g. a directive inside a block); keep descending.
+		return true
+	})
+	return from, to
 }
 
 // suppressed reports whether the diagnostic is covered by a directive.
@@ -118,8 +191,10 @@ func (s suppressions) suppressed(d Diagnostic) bool {
 }
 
 // RunAnalyzers applies every analyzer to every package and returns the
-// surviving diagnostics sorted by position.
+// surviving diagnostics sorted by position. The interprocedural effects
+// index is computed once over all packages and shared by every pass.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	effects := ComputeEffects(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg.Fset, pkg.Files)
@@ -132,6 +207,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Effects:  effects,
 				diags:    &local,
 			}
 			a.Run(pass)
@@ -167,6 +243,9 @@ func All() []*Analyzer {
 		CheckedErr,
 		HotAlloc,
 		Construction,
+		ShardSafe,
+		MapOrder,
+		BarrierPhase,
 	}
 }
 

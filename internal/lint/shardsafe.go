@@ -1,0 +1,449 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ShardSafe machine-checks the parallel driver's sharding contract in
+// internal/slotsim (PERFORMANCE.md): goroutine closures spawned by the
+// shard workers may only write shared state inside their own partition.
+//
+// Concretely, inside every function literal launched by a `go` statement:
+//
+//   - the closure must not capture variables of an enclosing for/range
+//     statement — shard identity and bounds are passed as arguments, so a
+//     respawned worker can never observe another iteration's values;
+//   - every write to captured state must be an indexed element write whose
+//     index derives from a partition-guarded variable (one filtered by a
+//     `v < lo || v >= hi` continue guard against the closure's own bound
+//     parameters, or a bound/shard parameter itself);
+//   - calls on captured state must be effect-free, internally synchronized
+//     (receiver type carries a sync.Mutex/RWMutex), or — per the
+//     interprocedural effects summary — write only through indexes fed by
+//     partition-safe arguments, never through shared scalars or globals.
+var ShardSafe = &Analyzer{
+	Name: "shardsafe",
+	Doc: "writes inside slotsim shard-worker goroutines must stay inside the " +
+		"worker's own partition (guarded index or per-shard staging); no loop-variable " +
+		"capture, no shared scalar writes, no unsynchronized effectful calls",
+	Run: runShardSafe,
+}
+
+func runShardSafe(pass *Pass) {
+	if !pathHasPrefix(pass.Path, "streamcast/internal/slotsim") &&
+		pass.Path != "streamcast/internal/fixture/shardsafe" {
+		return
+	}
+	for _, f := range pass.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkShardClosure(pass, lit, stack)
+			return true
+		})
+	}
+}
+
+// checkShardClosure applies the partition rules to one spawned closure.
+func checkShardClosure(pass *Pass, lit *ast.FuncLit, stack []ast.Node) {
+	loopVars := enclosingLoopVars(pass, stack)
+	params := closureParams(pass, lit)
+	locals := closureLocals(pass, lit)
+	guarded := guardedVars(pass, lit, params)
+
+	// indexSafe reports whether an index expression is provably inside the
+	// worker's partition: it mentions a guarded variable, a closure
+	// parameter, or a closure-local derived from either.
+	var indexSafe func(e ast.Expr) bool
+	indexSafe = func(e ast.Expr) bool {
+		safe := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || safe {
+				return !safe
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if guarded[obj] || params[obj] {
+				safe = true
+				return false
+			}
+			if init := locals[obj]; init != nil && indexSafe(init) {
+				safe = true
+				return false
+			}
+			return true
+		})
+		return safe
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[st]; obj != nil && loopVars[obj] {
+				pass.Reportf(st.Pos(),
+					"goroutine closure captures loop variable %s; pass it as an argument so each worker owns its iteration's value",
+					st.Name)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				checkShardWrite(pass, lhs, lit, params, locals, indexSafe)
+			}
+		case *ast.IncDecStmt:
+			checkShardWrite(pass, st.X, lit, params, locals, indexSafe)
+		case *ast.CallExpr:
+			checkShardCall(pass, st, lit, params, locals, indexSafe)
+		}
+		return true
+	})
+}
+
+// checkShardWrite validates one assignment target inside a shard closure.
+func checkShardWrite(pass *Pass, lhs ast.Expr, lit *ast.FuncLit,
+	params map[types.Object]bool, _ map[types.Object]ast.Expr,
+	indexSafe func(ast.Expr) bool) {
+	root, indexes := rootAndIndexes(lhs)
+	if root == nil {
+		return
+	}
+	obj := pass.Info.Uses[root]
+	if obj == nil {
+		obj = pass.Info.Defs[root]
+	}
+	if obj == nil || definedWithin(pass, obj, lit) || params[obj] {
+		// Closure-local or parameter state is worker-private.
+		return
+	}
+	if lhs == (ast.Expr)(root) {
+		// Rebinding a captured variable itself (x = ...) IS a shared write.
+		pass.Reportf(lhs.Pos(),
+			"shard worker rebinds captured variable %s; workers may only write their own partition of shared arrays",
+			root.Name)
+		return
+	}
+	if len(indexes) == 0 {
+		pass.Reportf(lhs.Pos(),
+			"shard worker writes shared scalar state %s; per-node writes must be element writes indexed inside the worker's partition",
+			types.ExprString(lhs))
+		return
+	}
+	for _, ix := range indexes {
+		if !indexSafe(ix) {
+			pass.Reportf(lhs.Pos(),
+				"shard worker writes %s with index %s not provably inside its partition; guard the index variable against the shard bounds or stage through the per-shard buffers",
+				types.ExprString(lhs), types.ExprString(ix))
+			return
+		}
+	}
+}
+
+// checkShardCall validates one call inside a shard closure: calls on
+// captured receivers must be synchronized or partition-safe per their
+// effects summary.
+func checkShardCall(pass *Pass, call *ast.CallExpr, lit *ast.FuncLit,
+	params map[types.Object]bool, locals map[types.Object]ast.Expr,
+	indexSafe func(ast.Expr) bool) {
+	fn := calleeFuncOf(pass, call)
+	if fn == nil {
+		return // builtin, conversion, or dynamic call on closure state
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	if sig.Recv() != nil && mutexGuardedType(sig.Recv().Type()) {
+		return // internally synchronized (firstError.report, sync.WaitGroup)
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+		return
+	}
+	fx := pass.Effects.Of(fn)
+	if fx == nil {
+		return // out-of-module callee with no summary: nothing to prove against
+	}
+	if len(fx.WritesGlobals) > 0 {
+		pass.Reportf(call.Pos(),
+			"shard worker calls %s, which writes package state %v; workers must not touch globals",
+			fn.Name(), fx.GlobalsList())
+		return
+	}
+	if len(fx.WritesParams) == 0 {
+		return // effect-free (reads only)
+	}
+	// The callee writes through its receiver/params. Receiver state is the
+	// captured engine: require all writes indexed, with every index-feeding
+	// argument partition-safe.
+	if fx.ScalarStateWrite {
+		pass.Reportf(call.Pos(),
+			"shard worker calls %s, which writes shared non-indexed state; move the call to the slot barrier or make the write partition-indexed",
+			fn.Name(),
+		)
+		return
+	}
+	argAt := func(slot int) ast.Expr {
+		if sig.Recv() != nil {
+			if slot == 0 {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					return sel.X
+				}
+				return nil
+			}
+			slot--
+		}
+		if slot < len(call.Args) {
+			return call.Args[slot]
+		}
+		return nil
+	}
+	for slot := range fx.IndexedParams {
+		arg := argAt(slot)
+		if arg == nil {
+			continue
+		}
+		if !indexSafe(arg) {
+			pass.Reportf(call.Pos(),
+				"shard worker passes %s into an index position of %s without partition evidence; only guarded node ids or the worker's own shard index may index shared arrays",
+				types.ExprString(arg), fn.Name())
+			return
+		}
+	}
+}
+
+// calleeFuncOf resolves the call's static callee through the pass info.
+func calleeFuncOf(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// rootIdentOfExpr peels an expression down to its base identifier.
+func rootIdentOfExpr(e ast.Expr) *ast.Ident {
+	id, _ := rootAndIndexes(e)
+	return id
+}
+
+// definedWithin reports whether the object's definition position lies
+// inside the closure literal.
+func definedWithin(pass *Pass, obj types.Object, lit *ast.FuncLit) bool {
+	return obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()
+}
+
+// enclosingLoopVars collects the iteration variables of every for/range
+// statement on the stack enclosing the go statement.
+func enclosingLoopVars(pass *Pass, stack []ast.Node) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	record := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := pass.Info.Defs[id]; obj != nil {
+			vars[obj] = true
+		}
+	}
+	for _, n := range stack {
+		switch st := n.(type) {
+		case *ast.RangeStmt:
+			if st.Key != nil {
+				record(st.Key)
+			}
+			if st.Value != nil {
+				record(st.Value)
+			}
+		case *ast.ForStmt:
+			if init, ok := st.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					record(lhs)
+				}
+			}
+		}
+	}
+	return vars
+}
+
+// closureParams collects the closure's parameter objects.
+func closureParams(pass *Pass, lit *ast.FuncLit) map[types.Object]bool {
+	params := make(map[types.Object]bool)
+	if lit.Type.Params == nil {
+		return params
+	}
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				params[obj] = true
+			}
+		}
+	}
+	return params
+}
+
+// closureLocals maps variables declared inside the closure to their first
+// initializer expression (for one-step index derivation like
+// idx := base + int(tx.To)).
+func closureLocals(pass *Pass, lit *ast.FuncLit) map[types.Object]ast.Expr {
+	locals := make(map[types.Object]ast.Expr)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				continue
+			}
+			if _, seen := locals[obj]; seen {
+				continue
+			}
+			if i < len(as.Rhs) {
+				locals[obj] = as.Rhs[i]
+			} else if len(as.Rhs) == 1 {
+				locals[obj] = as.Rhs[0]
+			}
+		}
+		return true
+	})
+	return locals
+}
+
+// guardedVars finds partition-guard evidence inside the closure: variables
+// (or field chains like tx.From) filtered by a
+// `if v < lo || v >= hi { continue }` guard against closure parameters, and
+// loop variables of `for v := lo; v < hi; v++` headers. The returned set
+// holds the objects of the guarded identifiers; for field guards
+// (tx.From < lo) the struct variable itself (tx) is recorded, since every
+// per-node field of one transmission belongs to the same partition check.
+func guardedVars(pass *Pass, lit *ast.FuncLit, params map[types.Object]bool) map[types.Object]bool {
+	guarded := make(map[types.Object]bool)
+	isParam := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := pass.Info.Uses[id]
+		return obj != nil && params[obj]
+	}
+	recordGuard := func(e ast.Expr) {
+		if id := rootIdentOfExpr(e); id != nil {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				guarded[obj] = true
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.IfStmt:
+			// if x < lo || x >= hi { continue }  (either comparison order)
+			or, ok := st.Cond.(*ast.BinaryExpr)
+			if !ok || or.Op != token.LOR || !bodyIsSkip(st.Body) {
+				return true
+			}
+			l, lok := or.X.(*ast.BinaryExpr)
+			r, rok := or.Y.(*ast.BinaryExpr)
+			if !lok || !rok {
+				return true
+			}
+			lTarget := boundComparison(l, isParam)
+			rTarget := boundComparison(r, isParam)
+			if lTarget != nil && rTarget != nil &&
+				types.ExprString(lTarget) == types.ExprString(rTarget) {
+				recordGuard(lTarget)
+			}
+		case *ast.ForStmt:
+			// for v := lo; v < hi; v++ with lo/hi closure parameters.
+			init, ok := st.Init.(*ast.AssignStmt)
+			if !ok || len(init.Lhs) != 1 || len(init.Rhs) != 1 || !isParam(init.Rhs[0]) {
+				return true
+			}
+			cond, ok := st.Cond.(*ast.BinaryExpr)
+			if !ok || cond.Op != token.LSS || !isParam(cond.Y) {
+				return true
+			}
+			if id, ok := init.Lhs[0].(*ast.Ident); ok &&
+				types.ExprString(cond.X) == id.Name {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					guarded[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return guarded
+}
+
+// boundComparison matches one half of a partition guard — `x < bound` or
+// `x >= bound` (or the mirrored forms) with bound a closure parameter —
+// and returns the compared expression.
+func boundComparison(cmp *ast.BinaryExpr, isParam func(ast.Expr) bool) ast.Expr {
+	switch cmp.Op {
+	case token.LSS, token.GEQ:
+		if isParam(cmp.Y) {
+			return cmp.X
+		}
+	case token.GTR, token.LEQ:
+		if isParam(cmp.X) {
+			return cmp.Y
+		}
+	}
+	return nil
+}
+
+// bodyIsSkip reports whether a guard body immediately leaves the iteration
+// (continue, return, or break).
+func bodyIsSkip(body *ast.BlockStmt) bool {
+	if len(body.List) != 1 {
+		return false
+	}
+	switch st := body.List[0].(type) {
+	case *ast.BranchStmt:
+		return st.Tok == token.CONTINUE || st.Tok == token.BREAK
+	case *ast.ReturnStmt:
+		return true
+	}
+	return false
+}
+
+// mutexGuardedType reports whether the (pointer-stripped) receiver type is
+// a struct carrying a sync.Mutex or sync.RWMutex field — the repo's
+// convention for internally synchronized helpers.
+func mutexGuardedType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		named, ok := ft.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			continue
+		}
+		full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+		if full == "sync.Mutex" || full == "sync.RWMutex" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,130 @@
+package barrierphase
+
+import "sync"
+
+// eng mimics the slotsim engine's slot-barrier protocol.
+type eng struct {
+	state []int
+	tick  int
+}
+
+// validate checks sender-side constraints for a slot.
+//
+//phase:validate
+func (e *eng) validate(txs []int) error {
+	for _, tx := range txs {
+		if tx < 0 {
+			return errNegative
+		}
+	}
+	return nil
+}
+
+// deliverTx applies a slot's arrivals.
+//
+//phase:deliver
+func (e *eng) deliverTx(txs []int) error {
+	for _, tx := range txs {
+		e.state[tx]++
+	}
+	return nil
+}
+
+// merge replays staged events at the slot barrier.
+//
+//phase:merge
+func (e *eng) merge() {}
+
+// bumpTick writes engine state; never legal with workers in flight.
+func (e *eng) bumpTick() { e.tick++ }
+
+var errNegative = &violation{}
+
+type violation struct{}
+
+func (*violation) Error() string { return "negative id" }
+
+// goodStep mirrors the driver's fast path: a small-slot branch that
+// validates, delivers and returns, then the sharded sequence after it.
+func (e *eng) goodStep(txs []int) error {
+	if len(txs) < 4 {
+		if err := e.validate(txs); err != nil {
+			return err
+		}
+		return e.deliverTx(txs)
+	}
+	if err := e.validate(txs); err != nil {
+		return err
+	}
+	if err := e.deliverTx(txs); err != nil {
+		return err
+	}
+	e.merge()
+	return nil
+}
+
+// goodRun re-enters the cycle each slot: loop bodies start a fresh phase.
+func (e *eng) goodRun(slots int, txs []int) error {
+	for t := 0; t < slots; t++ {
+		if err := e.validate(txs); err != nil {
+			return err
+		}
+		if err := e.deliverTx(txs); err != nil {
+			return err
+		}
+		e.merge()
+	}
+	return nil
+}
+
+// badOrder delivers before validating.
+func (e *eng) badOrder(txs []int) error {
+	if err := e.deliverTx(txs); err != nil {
+		return err
+	}
+	return e.validate(txs) // want `phase validate function called after phase deliver`
+}
+
+// badMergeFirst merges before the deliveries exist.
+func (e *eng) badMergeFirst(txs []int) error {
+	e.merge()
+	return e.deliverTx(txs) // want `phase deliver function called after phase merge`
+}
+
+// badClosurePhase runs a barrier phase on a worker goroutine.
+func (e *eng) badClosurePhase() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e.merge() // want `phase merge function called inside a goroutine closure`
+	}()
+	wg.Wait()
+}
+
+// badNoJoin spawns workers and returns without a barrier.
+func (e *eng) badNoJoin(txs []int) { // want `badNoJoin spawns goroutines but does not join them`
+	for i := range txs {
+		go func(i int) {
+			_ = i
+		}(i)
+	}
+}
+
+// badInFlight mutates engine state while workers are still running.
+func (e *eng) badInFlight(txs []int) {
+	var wg sync.WaitGroup
+	for i := range txs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+		}(i)
+	}
+	e.bumpTick() // want `bumpTick writes state while spawned goroutines are in flight`
+	wg.Wait()
+}
+
+// wrongPhase carries a directive outside the documented cycle.
+//
+//phase:commit // want `unknown barrier phase "commit"`
+func (e *eng) wrongPhase() {}

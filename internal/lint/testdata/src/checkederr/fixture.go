@@ -6,6 +6,9 @@ package fixture
 import (
 	"encoding/json"
 	"fmt"
+	"hash"
+	"hash/fnv"
+	"math/rand"
 	"os"
 	"strings"
 )
@@ -33,6 +36,16 @@ func Allowlisted(v interface{}) string {
 	fmt.Println(v)
 	fmt.Fprintf(&b, "%v", v)
 	return b.String()
+}
+
+// HashAndRand uses the contract-backed exceptions: hash.Hash.Write never
+// returns an error, and (*rand.Rand).Read always returns a nil error.
+func HashAndRand(h hash.Hash, rng *rand.Rand, buf []byte) uint64 {
+	h.Write(buf)
+	h64 := fnv.New64a()
+	h64.Write(buf)
+	rng.Read(buf)
+	return h64.Sum64()
 }
 
 // Suppressed documents a deliberate discard in place.

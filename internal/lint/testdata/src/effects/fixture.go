@@ -1,0 +1,60 @@
+// Package fixture exercises the effects-summary layer: direct writes to
+// package-level and parameter-reachable state, writes that only happen
+// through method calls (fixpoint propagation), and interface dispatch, which
+// the analysis must treat conservatively. The golden expectations live in
+// effects_test.go.
+package fixture
+
+// counter is package-level state written and read directly.
+var counter int
+
+// sink is dispatched through dynamically; the analysis cannot see the
+// callee's body.
+type sink interface {
+	Emit(string)
+}
+
+// box carries both indexed (partitionable) and scalar receiver state.
+type box struct {
+	vals  []int
+	total int
+}
+
+// writeGlobal writes a package-level variable directly.
+func writeGlobal() {
+	counter++
+}
+
+// readGlobal only reads package-level state.
+func readGlobal() int {
+	return counter
+}
+
+// writeIndexed writes receiver state through an index derived from a
+// parameter — the partition-evidence shape shardsafe depends on.
+func (b *box) writeIndexed(i, v int) {
+	b.vals[i] = v
+}
+
+// writeScalar updates receiver state without an index expression.
+func (b *box) writeScalar(v int) {
+	b.total += v
+}
+
+// viaMethod writes only through a method call: the summary must inherit the
+// callee's indexed receiver write across the call edge.
+func viaMethod(b *box, i int) {
+	b.writeIndexed(i, 1)
+}
+
+// viaInterface dispatches through an interface; the summary must be marked
+// unresolved rather than assumed pure.
+func viaInterface(s sink) {
+	s.Emit("x")
+}
+
+// chained combines a global write and a scalar receiver write transitively.
+func chained(b *box) {
+	writeGlobal()
+	b.writeScalar(2)
+}

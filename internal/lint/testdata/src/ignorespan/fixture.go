@@ -1,0 +1,37 @@
+// Package ignorespan is the regression fixture for //lint:ignore directives
+// above multi-line statements. A directive suppresses findings reported
+// anywhere inside the span of the statement it annotates — not just on the
+// statement's first line — while a directive above a compound statement
+// (if/for/switch) covers only the header, never the body.
+package ignorespan
+
+import "os"
+
+// suppressedSpan: the finding fires on the Close line, two lines below the
+// directive but still inside the annotated defer statement, and must be
+// suppressed. Before the span fix only the directive's own line and the line
+// below it were covered, so this finding escaped.
+func suppressedSpan(f *os.File) {
+	//lint:ignore checkederr teardown of a scratch file, nothing to surface
+	defer func() {
+		f.Close()
+	}()
+}
+
+// unsuppressedControl is the same shape without the directive: the finding
+// must still be reported, proving the fixture exercises a real diagnostic.
+func unsuppressedControl(f *os.File) {
+	defer func() {
+		f.Close() // want `result of f.Close contains an error that is discarded`
+	}()
+}
+
+// headerOnly: above a compound statement the directive covers only the
+// header, so a discarded error inside the body is still reported — the span
+// extension must not silently blanket whole blocks.
+func headerOnly(f *os.File, ok bool) {
+	//lint:ignore checkederr covers only the if header, not the body
+	if ok {
+		f.Close() // want `result of f.Close contains an error that is discarded`
+	}
+}

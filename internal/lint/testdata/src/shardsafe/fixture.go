@@ -1,0 +1,152 @@
+package shardsafe
+
+import "sync"
+
+// eng stands in for the slotsim engine: flat per-node arrays written by
+// shard workers, plus a shared scalar no worker may touch.
+type eng struct {
+	state  []int
+	cursor []int
+	max    []int
+	total  int
+}
+
+// note advances per-node and per-shard cursors; both writes are indexed by
+// its parameters, so callers must pass partition-safe values.
+func (e *eng) note(w, id int) {
+	e.cursor[id] = id
+	if id > e.max[w] {
+		e.max[w] = id
+	}
+}
+
+// bump writes a shared scalar — never legal from inside a worker.
+func (e *eng) bump() { e.total++ }
+
+// capOf only reads; workers may call it freely.
+func (e *eng) capOf(id int) int { return e.state[id] }
+
+// guard is a mutex-carrying helper; its methods are internally synchronized.
+type guard struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (g *guard) report(err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.err == nil {
+		g.err = err
+	}
+}
+
+// goodWorkers is the sanctioned pattern: bounds passed as arguments, every
+// shared write guarded into the worker's own partition, callee indexes fed
+// by guarded values.
+func goodWorkers(e *eng, g *guard, ids []int, workers, chunk int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for _, id := range ids {
+				if id < lo || id >= hi {
+					continue
+				}
+				e.state[id] = e.capOf(id) + 1
+				e.note(w, id)
+				g.report(nil)
+			}
+		}(w, w*chunk, (w+1)*chunk)
+	}
+	wg.Wait()
+}
+
+// badLoopCapture reads the loop variable from inside the closure.
+func badLoopCapture(e *eng, ids []int, workers, chunk int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for _, id := range ids {
+				if id < lo || id >= hi {
+					continue
+				}
+				e.cursor[id] = w // want `captures loop variable w`
+			}
+		}(w*chunk, (w+1)*chunk)
+	}
+	wg.Wait()
+}
+
+// badUnguarded writes shared state with no partition guard on the index.
+func badUnguarded(e *eng, ids []int, workers, chunk int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for _, id := range ids {
+				e.state[id] = 1 // want `not provably inside its partition`
+			}
+		}(w*chunk, (w+1)*chunk)
+	}
+	wg.Wait()
+}
+
+// badScalar writes a shared scalar from a worker.
+func badScalar(e *eng, workers, chunk int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			e.total = lo // want `writes shared scalar state`
+		}(w*chunk, (w+1)*chunk)
+	}
+	wg.Wait()
+}
+
+// badRebind reassigns a captured variable wholesale.
+func badRebind(e *eng) {
+	var wg sync.WaitGroup
+	done := false
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		done = true // want `rebinds captured variable done`
+	}()
+	wg.Wait()
+	if done {
+		e.total = 0
+	}
+}
+
+// badScalarCallee calls a helper whose effects write shared scalar state.
+func badScalarCallee(e *eng, workers, chunk int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			e.bump() // want `writes shared non-indexed state`
+		}(w*chunk, (w+1)*chunk)
+	}
+	wg.Wait()
+}
+
+// badIndexArg feeds an unguarded id into a callee's index position.
+func badIndexArg(e *eng, ids []int, workers, chunk int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for _, id := range ids {
+				e.note(w, id) // want `passes id into an index position`
+			}
+		}(w, w*chunk, (w+1)*chunk)
+	}
+	wg.Wait()
+}

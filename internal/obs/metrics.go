@@ -101,7 +101,6 @@ func (m *Metrics) Transmit(t core.Slot, tx core.Transmission) {
 			buf[i*8+b] = byte(uint64(v) >> (8 * b))
 		}
 	}
-	//lint:ignore checkederr hash.Hash.Write is documented to never return an error
 	m.hash.Write(buf[:])
 }
 

@@ -438,6 +438,8 @@ func (e *engine) holds(id core.NodeID, p core.Packet, t core.Slot) bool {
 }
 
 // validateSends checks sender-side constraints for the slot's transmissions.
+//
+//phase:validate
 func (e *engine) validateSends(t core.Slot, txs []core.Transmission) error {
 	tick := e.nextTick()
 	for _, tx := range txs {
@@ -483,6 +485,8 @@ func (e *engine) noteDelivery(shard int, id core.NodeID, p core.Packet, t core.S
 }
 
 // deliver applies arrivals scheduled for the end of slot t.
+//
+//phase:deliver
 func (e *engine) deliver(t core.Slot, arrivals []core.Transmission) error {
 	tick := e.nextTick()
 	for _, tx := range arrivals {

@@ -159,6 +159,10 @@ func (p *parallelDriver) shardRange(w int) (lo, hi core.NodeID) {
 	return lo, hi
 }
 
+// validateSendsParallel is the sharded counterpart of validateSends: each
+// worker validates the senders in its own contiguous ID range.
+//
+//phase:validate
 func (p *parallelDriver) validateSendsParallel(t core.Slot, txs []core.Transmission) error {
 	// Range checks first (any worker could hit them; keep deterministic by
 	// doing the cheap scan inline).
@@ -214,6 +218,11 @@ type shardedDeliver struct {
 	dup bool
 }
 
+// deliverParallel is the sharded counterpart of deliver: each worker applies
+// the arrivals addressed to its own contiguous receiver range, staging
+// observer events for the barrier merge.
+//
+//phase:deliver
 func (p *parallelDriver) deliverParallel(t core.Slot, arrivals []core.Transmission) error {
 	tick := p.nextTick()
 	staging := p.obs != nil
@@ -299,6 +308,8 @@ func (p *parallelDriver) deliverParallel(t core.Slot, arrivals []core.Transmissi
 // mergeStaged k-way merges the per-shard staging buffers (each already in
 // ascending transmission-index order) and replays deliveries with index
 // below limit to the observer. Runs single-threaded at the slot barrier.
+//
+//phase:merge
 func (p *parallelDriver) mergeStaged(t core.Slot, limit int) {
 	if p.obs != nil {
 		st := &p.sc.shards

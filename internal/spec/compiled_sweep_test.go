@@ -1,0 +1,60 @@
+package spec
+
+import (
+	"testing"
+
+	"streamcast/internal/check"
+	"streamcast/internal/core"
+)
+
+// TestCompiledWindowVerifiedPerFamily: every registry family that declares
+// Periodic must compile under its default scenario, and the compiled window
+// must pass symbolic verification — the flat artifact is proven directly,
+// with checker-vs-compiler-vs-source agreement, not just trusted from the
+// compiler's own verification pass.
+func TestCompiledWindowVerifiedPerFamily(t *testing.T) {
+	for _, f := range Families() {
+		if !f.Caps.Periodic {
+			continue
+		}
+		t.Run(f.Name, func(t *testing.T) {
+			run, err := Build(&Scenario{Scheme: f.Name})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := core.CompileSchedule(run.Scheme)
+			if c == nil {
+				t.Fatalf("family %s declares Periodic but its default scheme did not compile", f.Name)
+			}
+			var opt check.Options
+			if run.CheckOpt != nil {
+				opt = *run.CheckOpt
+			} else {
+				// Best-effort periodic families (mdc) have no closed-form
+				// bounds; verify the schedule/window properties alone.
+				opt = check.Options{
+					Horizon:         run.Opt.Slots,
+					Packets:         run.Opt.Packets,
+					Mode:            run.Opt.Mode,
+					SendCap:         run.Opt.SendCap,
+					RecvCap:         run.Opt.RecvCap,
+					Latency:         run.Opt.Latency,
+					AllowIncomplete: true,
+				}
+			}
+			// Cover the compiler's own verification horizon (warmup plus two
+			// periods) so the agreement pass sees the whole window.
+			steady, period, _, _ := c.Window()
+			if min := steady + 2*period; opt.Horizon < min {
+				opt.Horizon = min
+			}
+			rep, err := check.VerifyCompiled(c, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK() {
+				t.Fatalf("compiled window of %s rejected: %v", f.Name, rep.Issues)
+			}
+		})
+	}
+}
