@@ -42,6 +42,8 @@ func main() {
 	hcNs := []int{7, 15, 31, 50, 100, 255, 500, 1000, 2000}
 	degNs := []int{10, 30, 100, 300, 1000, 3000, 10000}
 	baseNs := []int{50, 200, 1000}
+	rrNs := []int{100, 1000, 10000}
+	rrTrials := 3
 	churnOps := 2000
 	faultsN := 60
 	if *quick {
@@ -51,6 +53,8 @@ func main() {
 		hcNs = []int{7, 50, 255}
 		degNs = []int{10, 100, 1000}
 		baseNs = []int{50}
+		rrNs = []int{100, 300}
+		rrTrials = 2
 		churnOps = 300
 		faultsN = 24
 	}
@@ -111,6 +115,9 @@ func main() {
 		}},
 		{"faults", func() (*experiments.Table, error) {
 			return experiments.FaultDegradation(faultsN, 3, 11)
+		}},
+		{"randreg", func() (*experiments.Table, error) {
+			return experiments.RandRegFrontier(rrNs, 3, rrTrials, 1)
 		}},
 	}
 

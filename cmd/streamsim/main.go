@@ -14,13 +14,14 @@
 //	streamsim -scheme hypercube -n 100 -d 2
 //	streamsim -scheme cluster -n 20 -k 9 -D 3 -d 4 -tc 5
 //	streamsim -scheme session -n 50 -d 3 -swaps 20:4:9
+//	streamsim -scheme randreg -n 200 -degree 3 -randreg-mode latin -seed 7
 //	streamsim -scenario run.scn
 //	streamsim -list-schemes
 //
 // The -check flag runs the static schedule/mesh verifier (internal/check,
 // see STATIC_ANALYSIS.md) as a preflight; on families without a static
-// schedule (gossip, mdc, session) it fails fast instead of producing
-// spurious verifier output:
+// schedule (gossip, mdc, session, randreg) it fails fast instead of
+// producing spurious verifier output:
 //
 //	streamsim -scheme multitree -n 100 -d 3 -check
 //
@@ -88,6 +89,8 @@ type cli struct {
 	intra        string
 	gossipDeg    int
 	strategy     string
+	degree       int
+	rrMode       string
 	seed         int64
 	swaps        string
 	rounds       int
@@ -124,7 +127,9 @@ func newCLI(fs *flag.FlagSet) *cli {
 	fs.StringVar(&c.intra, "intra", "multitree", "intra-cluster scheme: multitree | hypercube (cluster scheme)")
 	fs.IntVar(&c.gossipDeg, "gossip-degree", 5, "gossip neighbor-set size")
 	fs.StringVar(&c.strategy, "strategy", "pull-oldest", "gossip pull strategy: pull-oldest | pull-newest | pull-random")
-	fs.Int64Var(&c.seed, "seed", 1, "seed for the gossip mesh")
+	fs.IntVar(&c.degree, "degree", 3, "d-regular digraph degree (randreg scheme)")
+	fs.StringVar(&c.rrMode, "randreg-mode", "latin", "randreg schedule: latin | pull | push")
+	fs.Int64Var(&c.seed, "seed", 1, "seed for the gossip mesh or randreg digraph")
 	fs.StringVar(&c.swaps, "swaps", "", "mid-stream swaps slot:a:b[,...] (session scheme)")
 	fs.IntVar(&c.rounds, "rounds", 6, "MDC playback rounds (mdc scheme)")
 	fs.BoolVar(&c.doCheck, "check", false, "statically verify the schedule and mesh (internal/check) before running")
@@ -145,6 +150,7 @@ var paramFlags = map[string]string{
 	"k": "k", "D": "D", "tc": "tc", "intra": "intra",
 	"gossip-degree": "degree", "strategy": "strategy", "seed": "seed",
 	"swaps": "swaps", "rounds": "rounds",
+	"degree": "degree", "randreg-mode": "mode",
 }
 
 // scenario translates the parsed flags into a spec.Scenario. Only flags
@@ -276,12 +282,22 @@ func printSchemes(w io.Writer) {
 	}
 }
 
-// flagName maps a registry parameter name back to its streamsim flag.
+// flagName maps a registry parameter name back to its streamsim flag. A
+// same-named flag wins; otherwise the lexicographically smallest mapped
+// flag is chosen so the listing is deterministic (e.g. parameter "degree"
+// is served by both -degree and -gossip-degree).
 func flagName(param string) string {
+	if p, ok := paramFlags[param]; ok && p == param {
+		return param
+	}
+	best := ""
 	for fl, p := range paramFlags {
-		if p == param {
-			return fl
+		if p == param && (best == "" || fl < best) {
+			best = fl
 		}
+	}
+	if best != "" {
+		return best
 	}
 	return param
 }

@@ -26,6 +26,7 @@ var flagCases = map[string][]string{
 	"gossip":     {"-scheme", "gossip", "-n", "24", "-d", "3", "-gossip-degree", "4", "-seed", "9"},
 	"mdc":        {"-scheme", "mdc", "-n", "20", "-d", "2", "-rounds", "4"},
 	"session":    {"-scheme", "session", "-n", "20", "-d", "2", "-swaps", "12:5:9"},
+	"randreg":    {"-scheme", "randreg", "-n", "24", "-degree", "3", "-randreg-mode", "pull", "-seed", "5"},
 }
 
 // translate parses args through the CLI flag set and translates them into

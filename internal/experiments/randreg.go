@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"streamcast/internal/core"
+	"streamcast/internal/multitree"
+	"streamcast/internal/slotsim"
+	"streamcast/internal/spec"
+	"streamcast/internal/stats"
+)
+
+// receiverDelays extracts the per-receiver playback delays as a sample
+// vector for quantile estimation.
+func receiverDelays(res *slotsim.Result) []float64 {
+	out := make([]float64, res.N)
+	for id := 1; id <= res.N; id++ {
+		out[id-1] = float64(res.StartDelay[id])
+	}
+	return out
+}
+
+// RandRegFrontier places the random-regular-digraph family on the paper's
+// delay/buffer frontier against the deterministic constructions: at each
+// population size the multi-tree and hypercube-chain schemes run once (they
+// are deterministic), while each randreg mode runs `trials` independently
+// seeded digraphs (seeds derived from baseSeed via stats.TrialSeeds, so the
+// sweep is exactly reproducible). Delay quantiles pool the per-receiver
+// playback delays across trials; buffer and missing-packet counts report
+// the worst trial and the total across trials respectively.
+func RandRegFrontier(ns []int, degree, trials int, baseSeed int64) (*Table, error) {
+	t := &Table{
+		ID:    "randreg",
+		Title: fmt.Sprintf("randreg vs deterministic schemes, degree=%d, %d trials", degree, trials),
+		Columns: []string{
+			"N", "scheme", "trials", "p50 delay", "p99 delay", "max delay", "max buffer", "missing",
+		},
+	}
+	groups, err := forEachRow(len(ns), func(i int) ([][]interface{}, error) {
+		n := ns[i]
+		var rows [][]interface{}
+
+		mtSc := spec.MultiTreeScenario(n, degree, multitree.Greedy, core.Live)
+		mtSc.Packets = 3 * degree
+		_, mtRes, err := specResult(mtSc, false)
+		if err != nil {
+			return nil, fmt.Errorf("randreg: multitree n=%d: %w", n, err)
+		}
+		mt := stats.Summarize(receiverDelays(mtRes))
+		rows = append(rows, []interface{}{n, fmt.Sprintf("multi-tree d=%d", degree), 1,
+			mt.P50, mt.P99, mt.Max, mtRes.WorstBuffer(), 0})
+
+		hcSc := spec.HypercubeScenario(n, 1)
+		hcSc.Packets = 3 * degree
+		_, hcRes, err := specResult(hcSc, false)
+		if err != nil {
+			return nil, fmt.Errorf("randreg: hypercube n=%d: %w", n, err)
+		}
+		hc := stats.Summarize(receiverDelays(hcRes))
+		rows = append(rows, []interface{}{n, "hypercube chain", 1,
+			hc.P50, hc.P99, hc.Max, hcRes.WorstBuffer(), 0})
+
+		for _, mode := range []string{"latin", "pull", "push"} {
+			var q stats.TrialQuantiles
+			maxBuf, missing := 0, 0
+			for _, seed := range stats.TrialSeeds(baseSeed, trials) {
+				sc := spec.RandRegScenario(n, degree, mode, seed)
+				_, res, err := specResult(sc, false)
+				if err != nil {
+					return nil, fmt.Errorf("randreg: mode=%s n=%d seed=%d: %w", mode, n, seed, err)
+				}
+				q.AddTrial(receiverDelays(res))
+				if b := res.WorstBuffer(); b > maxBuf {
+					maxBuf = b
+				}
+				for _, m := range res.Missing {
+					missing += m
+				}
+			}
+			pooled := q.Pooled()
+			rows = append(rows, []interface{}{n, "randreg " + mode, trials,
+				pooled.P50, pooled.P99, pooled.Max, maxBuf, missing})
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	addGroups(t, groups)
+	return t, nil
+}

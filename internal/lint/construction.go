@@ -18,6 +18,7 @@ var bannedConstructors = map[string]map[string]bool{
 	"streamcast/internal/cluster":   {"New": true},
 	"streamcast/internal/baseline":  {"NewChain": true, "NewSingleTree": true},
 	"streamcast/internal/gossip":    {"New": true},
+	"streamcast/internal/randreg":   {"New": true, "NewDigraph": true},
 }
 
 // constructionExempt are the packages allowed to call the constructors
@@ -31,6 +32,7 @@ var constructionExempt = []string{
 	"streamcast/internal/cluster",
 	"streamcast/internal/baseline",
 	"streamcast/internal/gossip",
+	"streamcast/internal/randreg",
 	"streamcast/internal/spec",
 }
 
@@ -44,8 +46,8 @@ var constructionExempt = []string{
 var Construction = &Analyzer{
 	Name: "construction",
 	Doc: "scheme constructors (multitree.New, hypercube.New, cluster.New, " +
-		"baseline.NewChain/NewSingleTree, gossip.New) must only be called " +
-		"via the internal/spec registry",
+		"baseline.NewChain/NewSingleTree, gossip.New, randreg.New/NewDigraph) " +
+		"must only be called via the internal/spec registry",
 	Run: runConstruction,
 }
 

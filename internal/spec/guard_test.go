@@ -24,6 +24,7 @@ var bannedConstructors = map[string][]string{
 	"streamcast/internal/cluster":   {"New"},
 	"streamcast/internal/baseline":  {"NewChain", "NewSingleTree"},
 	"streamcast/internal/gossip":    {"New"},
+	"streamcast/internal/randreg":   {"New", "NewDigraph"},
 }
 
 // guardedTrees lists the module sub-trees (relative to the repo root) in
