@@ -52,9 +52,12 @@ bench:
 # One-iteration benchmark smoke: proves every benchmark still compiles and
 # runs, including the N=10^5 slot-engine scale cases. Part of ci; -short
 # skips only the million-node hypercube, and numbers from a 1x pass are not
-# meaningful.
+# meaningful. The fingerprint smoke then pins the sharded engine at two
+# workers against the sequential fingerprint, so even a single-CPU CI run
+# proves the persistent-pool barrier delivers bit-identical results.
 benchsmoke:
 	$(GO) test -bench . -benchtime 1x -benchmem -short -run XXX .
+	$(GO) test ./internal/slotsim -run TestShardedSmokeTwoWorkers -count=1
 
 # Measured benchmark snapshot as JSON (ns/op, B/op, allocs/op, custom
 # metrics), written to BENCH_<date>.json via cmd/benchdiff. Compare two

@@ -8,6 +8,7 @@ package streamcast
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"streamcast/internal/core"
@@ -259,11 +260,13 @@ func BenchmarkEngineSequentialVsParallel(b *testing.B) {
 // BenchmarkSlotEngineScale measures raw slot-engine throughput at the scales
 // the paper's asymptotic bounds address: multitree at N=10^4 and N=10^5, and
 // a full 2^20−1 hypercube (the "million-node" case; skipped under -short, so
-// `make benchsmoke` stays quick). Each case runs the sequential engine and
-// the sharded engine on a warmed Runner — the compiled-schedule cache and
-// scratch arenas are hot, so the numbers isolate the per-slot path. The
-// node_slots/s metric (nodes × slots simulated per second) is the figure the
-// PERFORMANCE.md trajectory table tracks.
+// `make benchsmoke` stays quick). Each case runs the sequential engine and a
+// worker-count sweep of the persistent-pool sharded engine (1/2/4/8, plus
+// GOMAXPROCS when that differs) on a warmed Runner — the compiled-schedule
+// cache, scratch arenas and worker pool are hot, so the numbers isolate the
+// per-slot path. The node_slots/s metric (nodes × slots simulated per
+// second) per worker count is the speedup curve the PERFORMANCE.md
+// trajectory table tracks.
 func BenchmarkSlotEngineScale(b *testing.B) {
 	type scaleCase struct {
 		name   string
@@ -316,7 +319,22 @@ func BenchmarkSlotEngineScale(b *testing.B) {
 			}
 		}
 		b.Run(c.name+"/sequential", run(0))
-		b.Run(c.name+"/sharded-4", run(4))
+		// Worker-count sweep over the persistent pool. The multi-core speedup
+		// curve only shows on a multi-core host; on a 1-CPU container every
+		// count measures the same work plus the barrier overhead.
+		counts := []int{1, 2, 4, 8}
+		if p := runtime.GOMAXPROCS(0); p > 1 {
+			seen := false
+			for _, w := range counts {
+				seen = seen || w == p
+			}
+			if !seen {
+				counts = append(counts, p)
+			}
+		}
+		for _, w := range counts {
+			b.Run(fmt.Sprintf("%s/sharded-%d", c.name, w), run(w))
+		}
 	}
 }
 

@@ -33,12 +33,30 @@ var phaseLabel = map[int]string{1: "validate", 2: "deliver", 3: "merge"}
 //     (*sync.WaitGroup).Wait before returning, and while goroutines are in
 //     flight it calls nothing whose effects summary writes state or emits
 //     output (the in-flight workers own all mutation until the join).
+//
+// The persistent worker pool (slotsim/pool.go) adds three auxiliary
+// directives and the matching discipline:
+//
+//   - //phase:worker marks a persistent worker loop body. A named function
+//     spawned with `go` that calls phase functions must carry this mark
+//     (phases off the driver goroutine run only under the pool's epoch
+//     barrier), and a worker-marked function may only be spawned from a
+//     //phase:spawn function;
+//   - //phase:spawn marks the pool-spawn function: it is the one place
+//     allowed to leave goroutines in flight at return (the pool outlives the
+//     call), but it must never be called from inside a loop — the pool is
+//     spawned once per run, outside the slot loop — and the package must
+//     then declare a //phase:shutdown function;
+//   - //phase:shutdown marks the join: it must wait the workers out with a
+//     (*sync.WaitGroup).Wait.
 var BarrierPhase = &Analyzer{
 	Name: "barrierphase",
 	Doc: "slotsim barrier phases (//phase: directives) must run in " +
 		"validate→deliver→merge order on every path, never inside goroutine " +
 		"closures, and spawned workers must be joined with WaitGroup.Wait " +
-		"before any other effectful call",
+		"before any other effectful call; persistent pool workers " +
+		"(//phase:worker) may only be spawned by the //phase:spawn function, " +
+		"outside any loop, and joined by a //phase:shutdown function",
 	Run: runBarrierPhase,
 }
 
@@ -47,11 +65,12 @@ func runBarrierPhase(pass *Pass) {
 		pass.Path != "streamcast/internal/fixture/barrierphase" {
 		return
 	}
-	phases := collectPhaseDirectives(pass)
-	if len(phases) == 0 {
+	info := collectPhaseDirectives(pass)
+	if len(info.phases) == 0 && len(info.worker) == 0 &&
+		len(info.spawn) == 0 && len(info.shutdown) == 0 {
 		return
 	}
-	pc := &phaseChecker{pass: pass, phases: phases}
+	pc := &phaseChecker{pass: pass, info: info}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -59,19 +78,58 @@ func runBarrierPhase(pass *Pass) {
 				continue
 			}
 			pc.walkStmts(fd.Body.List, 0)
-			pc.checkSpawnJoin(fd)
+			key := pc.declKey(fd)
+			pc.checkGoCallees(fd, key)
+			switch {
+			case info.spawn[key]:
+				// The spawn function deliberately leaves the pool's workers
+				// in flight; the package-level shutdown requirement replaces
+				// the join-before-return rule here.
+				pc.checkSpawnDecl(fd)
+			case info.shutdown[key]:
+				pc.checkShutdownJoin(fd)
+			default:
+				pc.checkSpawnJoin(fd)
+			}
 		}
+		pc.checkSpawnCallSites(f)
 	}
 }
 
+// phaseInfo is the package's directive census: per-slot phase ranks plus the
+// pool's spawn/worker/shutdown marks, all keyed by qualified function name,
+// and every function declaration for body lookups.
+type phaseInfo struct {
+	phases   map[string]int
+	worker   map[string]bool
+	spawn    map[string]bool
+	shutdown map[string]bool
+	decls    map[string]*ast.FuncDecl
+}
+
 // collectPhaseDirectives reads //phase:<name> directives off function doc
-// comments and returns the package's phase map keyed by qualified name.
-func collectPhaseDirectives(pass *Pass) map[string]int {
-	phases := make(map[string]int)
+// comments and returns the package's directive census.
+func collectPhaseDirectives(pass *Pass) *phaseInfo {
+	info := &phaseInfo{
+		phases:   make(map[string]int),
+		worker:   make(map[string]bool),
+		spawn:    make(map[string]bool),
+		shutdown: make(map[string]bool),
+		decls:    make(map[string]*ast.FuncDecl),
+	}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Doc == nil {
+			if !ok {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			key := funcKey(fn)
+			info.decls[key] = fd
+			if fd.Doc == nil {
 				continue
 			}
 			for _, c := range fd.Doc.List {
@@ -84,25 +142,39 @@ func collectPhaseDirectives(pass *Pass) map[string]int {
 				if len(rest) > 0 {
 					name = rest[0]
 				}
-				p, ok := phaseNames[name]
-				if !ok {
+				switch name {
+				case "worker":
+					info.worker[key] = true
+				case "spawn":
+					info.spawn[key] = true
+				case "shutdown":
+					info.shutdown[key] = true
+				default:
+					if p, ok := phaseNames[name]; ok {
+						info.phases[key] = p
+						continue
+					}
 					pass.Reportf(c.Pos(),
-						"unknown barrier phase %q; the engine's phases are validate, deliver, merge", name)
-					continue
-				}
-				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
-					phases[funcKey(fn)] = p
+						"unknown barrier phase %q; the engine's phases are validate, deliver, merge, and the pool directives are spawn, worker, shutdown", name)
 				}
 			}
 		}
 	}
-	return phases
+	return info
 }
 
 // phaseChecker holds the per-package state for the ordered walk.
 type phaseChecker struct {
-	pass   *Pass
-	phases map[string]int
+	pass *Pass
+	info *phaseInfo
+}
+
+// declKey returns the qualified-name key of a function declaration.
+func (pc *phaseChecker) declKey(fd *ast.FuncDecl) string {
+	if fn, ok := pc.pass.Info.Defs[fd.Name].(*types.Func); ok {
+		return funcKey(fn)
+	}
+	return ""
 }
 
 // phaseOf resolves a call's barrier phase (0 for non-phase callees).
@@ -111,7 +183,7 @@ func (pc *phaseChecker) phaseOf(call *ast.CallExpr) int {
 	if fn == nil {
 		return 0
 	}
-	return pc.phases[funcKey(fn)]
+	return pc.info.phases[funcKey(fn)]
 }
 
 // scanCalls folds every call inside one simple statement (or expression)
@@ -259,6 +331,112 @@ func (pc *phaseChecker) checkClosurePhases(gs *ast.GoStmt) {
 			pc.pass.Reportf(call.Pos(),
 				"phase %s function called inside a goroutine closure; barrier phases run on the driver goroutine only",
 				phaseLabel[p])
+		}
+		return true
+	})
+}
+
+// checkGoCallees vets `go` statements that spawn a named function (closures
+// are handled by checkClosurePhases): a //phase:worker loop may only be
+// spawned from the //phase:spawn pool function, and a named function that
+// calls barrier phases must carry the worker mark to be spawned at all.
+func (pc *phaseChecker) checkGoCallees(fd *ast.FuncDecl, key string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		fn := calleeFuncOf(pc.pass, gs.Call)
+		if fn == nil {
+			return true
+		}
+		ck := funcKey(fn)
+		if pc.info.worker[ck] {
+			if !pc.info.spawn[key] {
+				pc.pass.Reportf(gs.Pos(),
+					"persistent worker %s spawned outside a //phase:spawn pool function; the pool is spawned once per run, before the slot loop",
+					fn.Name())
+			}
+			return true
+		}
+		if decl := pc.info.decls[ck]; decl != nil && decl.Body != nil && pc.callsPhases(decl) {
+			pc.pass.Reportf(gs.Pos(),
+				"spawned function %s calls barrier phase functions but is not marked //phase:worker; phases off the driver goroutine must run under the pool's epoch barrier",
+				fn.Name())
+		}
+		return true
+	})
+}
+
+// callsPhases reports whether the function body invokes any barrier phase
+// function directly.
+func (pc *phaseChecker) callsPhases(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && pc.phaseOf(call) != 0 {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkSpawnDecl enforces the pool contract on a //phase:spawn function: the
+// workers it leaves in flight must have a declared join point somewhere in
+// the package.
+func (pc *phaseChecker) checkSpawnDecl(fd *ast.FuncDecl) {
+	if len(pc.info.shutdown) == 0 {
+		pc.pass.Reportf(fd.Pos(),
+			"%s spawns persistent workers but the package declares no //phase:shutdown function to join them",
+			fd.Name.Name)
+	}
+}
+
+// checkShutdownJoin requires the //phase:shutdown function to actually join
+// the workers.
+func (pc *phaseChecker) checkShutdownJoin(fd *ast.FuncDecl) {
+	joined := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && pc.isWaitCall(call) {
+			joined = true
+		}
+		return !joined
+	})
+	if !joined {
+		pc.pass.Reportf(fd.Pos(),
+			"%s is marked //phase:shutdown but never joins the workers with (*sync.WaitGroup).Wait",
+			fd.Name.Name)
+	}
+}
+
+// checkSpawnCallSites forbids calling the //phase:spawn function from inside
+// any loop: the pool is spawned once per run, never per slot.
+func (pc *phaseChecker) checkSpawnCallSites(f *ast.File) {
+	inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFuncOf(pc.pass, call)
+		if fn == nil || !pc.info.spawn[funcKey(fn)] {
+			return true
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			var body *ast.BlockStmt
+			switch loop := stack[i].(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				continue
+			}
+			if body.Pos() <= call.Pos() && call.Pos() < body.End() {
+				pc.pass.Reportf(call.Pos(),
+					"worker pool spawn %s called inside a loop; spawn the pool once per run, outside the slot loop",
+					fn.Name())
+				return true
+			}
 		}
 		return true
 	})

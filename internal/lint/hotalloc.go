@@ -25,9 +25,18 @@ var hotFuncs = map[string]bool{
 	"observeFail":           true,
 	"validateSendsParallel": true,
 	"deliverParallel":       true,
+	"validateShard":         true,
+	"deliverShard":          true,
+	"stageArrivals":         true,
+	"runShard":              true,
 	"shardFor":              true,
 	"shardRange":            true,
 	"mergeStaged":           true,
+	"headIdx":               true,
+	"siftDown":              true,
+	"dispatch":              true,
+	"await":                 true,
+	"finishJob":             true,
 	"noteDelivery":          true,
 	"nextTick":              true,
 	"enqueue":               true,

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // ShardSafe machine-checks the parallel driver's sharding contract in
@@ -23,11 +24,18 @@ import (
 //     (receiver type carries a sync.Mutex/RWMutex), or — per the
 //     interprocedural effects summary — write only through indexes fed by
 //     partition-safe arguments, never through shared scalars or globals.
+//
+// The persistent worker pool (slotsim/pool.go) runs shard bodies as named
+// methods instead of spawned closures; a //shard:body doc directive on a
+// function declaration subjects its body to the same partition rules, with
+// the function's parameters playing the closure-parameter role and the
+// receiver counting as captured shared state.
 var ShardSafe = &Analyzer{
 	Name: "shardsafe",
-	Doc: "writes inside slotsim shard-worker goroutines must stay inside the " +
-		"worker's own partition (guarded index or per-shard staging); no loop-variable " +
-		"capture, no shared scalar writes, no unsynchronized effectful calls",
+	Doc: "writes inside slotsim shard-worker goroutines (and //shard:body " +
+		"functions) must stay inside the worker's own partition (guarded index " +
+		"or per-shard staging); no loop-variable capture, no shared scalar " +
+		"writes, no unsynchronized effectful calls",
 	Run: runShardSafe,
 }
 
@@ -37,6 +45,18 @@ func runShardSafe(pass *Pass) {
 		return
 	}
 	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasShardBodyDirective(fd) {
+				continue
+			}
+			checkShardScope(pass, &shardScope{
+				params:  paramsOf(pass, fd.Type.Params),
+				locals:  bodyLocals(pass, fd.Body),
+				guarded: guardedVars(pass, fd.Body, paramsOf(pass, fd.Type.Params)),
+				body:    fd.Body,
+			})
+		}
 		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
 			gs, ok := n.(*ast.GoStmt)
 			if !ok {
@@ -52,16 +72,47 @@ func runShardSafe(pass *Pass) {
 	}
 }
 
+// hasShardBodyDirective reports whether the declaration's doc comment
+// carries a //shard:body line.
+func hasShardBodyDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimPrefix(c.Text, "//") == "shard:body" {
+			return true
+		}
+	}
+	return false
+}
+
+// shardScope is one partition-checked region — a spawned closure body or a
+// //shard:body function body — with its worker-private evidence sets.
+type shardScope struct {
+	params   map[types.Object]bool     // bound/shard parameters (worker-private)
+	locals   map[types.Object]ast.Expr // in-scope locals and their initializers
+	guarded  map[types.Object]bool     // variables filtered by a partition guard
+	loopVars map[types.Object]bool     // enclosing loop variables (closures only)
+	body     *ast.BlockStmt
+}
+
 // checkShardClosure applies the partition rules to one spawned closure.
 func checkShardClosure(pass *Pass, lit *ast.FuncLit, stack []ast.Node) {
-	loopVars := enclosingLoopVars(pass, stack)
-	params := closureParams(pass, lit)
-	locals := closureLocals(pass, lit)
-	guarded := guardedVars(pass, lit, params)
+	params := paramsOf(pass, lit.Type.Params)
+	checkShardScope(pass, &shardScope{
+		params:   params,
+		locals:   bodyLocals(pass, lit.Body),
+		guarded:  guardedVars(pass, lit.Body, params),
+		loopVars: enclosingLoopVars(pass, stack),
+		body:     lit.Body,
+	})
+}
 
+// checkShardScope applies the partition rules to one shard-worker region.
+func checkShardScope(pass *Pass, sc *shardScope) {
 	// indexSafe reports whether an index expression is provably inside the
-	// worker's partition: it mentions a guarded variable, a closure
-	// parameter, or a closure-local derived from either.
+	// worker's partition: it mentions a guarded variable, a worker
+	// parameter, or a local derived from either.
 	var indexSafe func(e ast.Expr) bool
 	indexSafe = func(e ast.Expr) bool {
 		safe := false
@@ -74,11 +125,11 @@ func checkShardClosure(pass *Pass, lit *ast.FuncLit, stack []ast.Node) {
 			if obj == nil {
 				return true
 			}
-			if guarded[obj] || params[obj] {
+			if sc.guarded[obj] || sc.params[obj] {
 				safe = true
 				return false
 			}
-			if init := locals[obj]; init != nil && indexSafe(init) {
+			if init := sc.locals[obj]; init != nil && indexSafe(init) {
 				safe = true
 				return false
 			}
@@ -87,30 +138,29 @@ func checkShardClosure(pass *Pass, lit *ast.FuncLit, stack []ast.Node) {
 		return safe
 	}
 
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
+	ast.Inspect(sc.body, func(n ast.Node) bool {
 		switch st := n.(type) {
 		case *ast.Ident:
-			if obj := pass.Info.Uses[st]; obj != nil && loopVars[obj] {
+			if obj := pass.Info.Uses[st]; obj != nil && sc.loopVars[obj] {
 				pass.Reportf(st.Pos(),
 					"goroutine closure captures loop variable %s; pass it as an argument so each worker owns its iteration's value",
 					st.Name)
 			}
 		case *ast.AssignStmt:
 			for _, lhs := range st.Lhs {
-				checkShardWrite(pass, lhs, lit, params, locals, indexSafe)
+				checkShardWrite(pass, lhs, sc, indexSafe)
 			}
 		case *ast.IncDecStmt:
-			checkShardWrite(pass, st.X, lit, params, locals, indexSafe)
+			checkShardWrite(pass, st.X, sc, indexSafe)
 		case *ast.CallExpr:
-			checkShardCall(pass, st, lit, params, locals, indexSafe)
+			checkShardCall(pass, st, sc, indexSafe)
 		}
 		return true
 	})
 }
 
-// checkShardWrite validates one assignment target inside a shard closure.
-func checkShardWrite(pass *Pass, lhs ast.Expr, lit *ast.FuncLit,
-	params map[types.Object]bool, _ map[types.Object]ast.Expr,
+// checkShardWrite validates one assignment target inside a shard scope.
+func checkShardWrite(pass *Pass, lhs ast.Expr, sc *shardScope,
 	indexSafe func(ast.Expr) bool) {
 	root, indexes := rootAndIndexes(lhs)
 	if root == nil {
@@ -120,8 +170,9 @@ func checkShardWrite(pass *Pass, lhs ast.Expr, lit *ast.FuncLit,
 	if obj == nil {
 		obj = pass.Info.Defs[root]
 	}
-	if obj == nil || definedWithin(pass, obj, lit) || params[obj] {
-		// Closure-local or parameter state is worker-private.
+	if obj == nil || definedWithin(obj, sc.body) || sc.params[obj] {
+		// Scope-local or parameter state is worker-private. A method
+		// receiver is declared outside the body, so it stays shared.
 		return
 	}
 	if lhs == (ast.Expr)(root) {
@@ -147,11 +198,10 @@ func checkShardWrite(pass *Pass, lhs ast.Expr, lit *ast.FuncLit,
 	}
 }
 
-// checkShardCall validates one call inside a shard closure: calls on
+// checkShardCall validates one call inside a shard scope: calls on
 // captured receivers must be synchronized or partition-safe per their
 // effects summary.
-func checkShardCall(pass *Pass, call *ast.CallExpr, lit *ast.FuncLit,
-	params map[types.Object]bool, locals map[types.Object]ast.Expr,
+func checkShardCall(pass *Pass, call *ast.CallExpr, _ *shardScope,
 	indexSafe func(ast.Expr) bool) {
 	fn := calleeFuncOf(pass, call)
 	if fn == nil {
@@ -239,9 +289,11 @@ func rootIdentOfExpr(e ast.Expr) *ast.Ident {
 }
 
 // definedWithin reports whether the object's definition position lies
-// inside the closure literal.
-func definedWithin(pass *Pass, obj types.Object, lit *ast.FuncLit) bool {
-	return obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()
+// inside the scope body. Parameters (and a method's receiver) are declared
+// outside the body; parameters are covered by the scope's params set, while
+// the receiver deliberately is not — it is the captured shared state.
+func definedWithin(obj types.Object, body *ast.BlockStmt) bool {
+	return obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
 }
 
 // enclosingLoopVars collects the iteration variables of every for/range
@@ -277,13 +329,14 @@ func enclosingLoopVars(pass *Pass, stack []ast.Node) map[types.Object]bool {
 	return vars
 }
 
-// closureParams collects the closure's parameter objects.
-func closureParams(pass *Pass, lit *ast.FuncLit) map[types.Object]bool {
+// paramsOf collects the parameter objects of a closure or function
+// declaration signature.
+func paramsOf(pass *Pass, fields *ast.FieldList) map[types.Object]bool {
 	params := make(map[types.Object]bool)
-	if lit.Type.Params == nil {
+	if fields == nil {
 		return params
 	}
-	for _, field := range lit.Type.Params.List {
+	for _, field := range fields.List {
 		for _, name := range field.Names {
 			if obj := pass.Info.Defs[name]; obj != nil {
 				params[obj] = true
@@ -293,12 +346,12 @@ func closureParams(pass *Pass, lit *ast.FuncLit) map[types.Object]bool {
 	return params
 }
 
-// closureLocals maps variables declared inside the closure to their first
+// bodyLocals maps variables declared inside the scope body to their first
 // initializer expression (for one-step index derivation like
 // idx := base + int(tx.To)).
-func closureLocals(pass *Pass, lit *ast.FuncLit) map[types.Object]ast.Expr {
+func bodyLocals(pass *Pass, body *ast.BlockStmt) map[types.Object]ast.Expr {
 	locals := make(map[types.Object]ast.Expr)
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
 		if !ok {
 			return true
@@ -326,14 +379,14 @@ func closureLocals(pass *Pass, lit *ast.FuncLit) map[types.Object]ast.Expr {
 	return locals
 }
 
-// guardedVars finds partition-guard evidence inside the closure: variables
-// (or field chains like tx.From) filtered by a
-// `if v < lo || v >= hi { continue }` guard against closure parameters, and
+// guardedVars finds partition-guard evidence inside the scope body:
+// variables (or field chains like tx.From) filtered by a
+// `if v < lo || v >= hi { continue }` guard against worker parameters, and
 // loop variables of `for v := lo; v < hi; v++` headers. The returned set
 // holds the objects of the guarded identifiers; for field guards
 // (tx.From < lo) the struct variable itself (tx) is recorded, since every
 // per-node field of one transmission belongs to the same partition check.
-func guardedVars(pass *Pass, lit *ast.FuncLit, params map[types.Object]bool) map[types.Object]bool {
+func guardedVars(pass *Pass, body *ast.BlockStmt, params map[types.Object]bool) map[types.Object]bool {
 	guarded := make(map[types.Object]bool)
 	isParam := func(e ast.Expr) bool {
 		id, ok := ast.Unparen(e).(*ast.Ident)
@@ -350,7 +403,7 @@ func guardedVars(pass *Pass, lit *ast.FuncLit, params map[types.Object]bool) map
 			}
 		}
 	}
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch st := n.(type) {
 		case *ast.IfStmt:
 			// if x < lo || x >= hi { continue }  (either comparison order)

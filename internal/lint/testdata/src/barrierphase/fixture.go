@@ -128,3 +128,90 @@ func (e *eng) badInFlight(txs []int) {
 //
 //phase:commit // want `unknown barrier phase "commit"`
 func (e *eng) wrongPhase() {}
+
+// pool mimics the persistent worker pool: a fixed crew joined at shutdown.
+type pool struct {
+	wg   sync.WaitGroup
+	kind int
+}
+
+// workerLoop is the persistent worker body: one phase per published job,
+// each job a fresh slot cycle.
+//
+//phase:worker
+func (e *eng) workerLoop(p *pool) {
+	defer p.wg.Done()
+	for p.kind != 0 {
+		switch p.kind {
+		case 1:
+			_ = e.validate(nil)
+		case 2:
+			_ = e.deliverTx(nil)
+		case 3:
+			e.merge()
+		}
+	}
+}
+
+// spawnPool is the one sanctioned spawn site: once per run, outside any
+// loop over slots, with the package's shutdown function as the join.
+//
+//phase:spawn
+func (e *eng) spawnPool(p *pool, n int) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go e.workerLoop(p)
+	}
+}
+
+// stopPool joins the crew.
+//
+//phase:shutdown
+func (e *eng) stopPool(p *pool) {
+	p.kind = 0
+	p.wg.Wait()
+}
+
+// badWorkerOrder runs the slot phases backwards inside the worker body.
+//
+//phase:worker
+func (e *eng) badWorkerOrder(p *pool) {
+	for p.kind != 0 {
+		_ = e.deliverTx(nil)
+		_ = e.validate(nil) // want `phase validate function called after phase deliver`
+	}
+}
+
+// badSpawnSite spawns the persistent worker from an ordinary function.
+func (e *eng) badSpawnSite(p *pool) {
+	p.wg.Add(1)
+	go e.workerLoop(p) // want `persistent worker workerLoop spawned outside a //phase:spawn pool function`
+	p.wg.Wait()
+}
+
+// rogueLoop calls a barrier phase but carries no worker mark.
+func (e *eng) rogueLoop() {
+	e.merge()
+}
+
+// badRogueSpawn runs barrier phases off the driver goroutine without the
+// pool's epoch barrier.
+func (e *eng) badRogueSpawn(p *pool) {
+	p.wg.Add(1)
+	go e.rogueLoop() // want `spawned function rogueLoop calls barrier phase functions but is not marked //phase:worker`
+	p.wg.Wait()
+}
+
+// badSpawnLoop grows the pool from inside the slot loop.
+func (e *eng) badSpawnLoop(p *pool, slots int) {
+	for t := 0; t < slots; t++ {
+		e.spawnPool(p, 1) // want `worker pool spawn spawnPool called inside a loop`
+	}
+}
+
+// badStop claims to be the shutdown but never joins.
+//
+//phase:shutdown
+func (e *eng) badStop(p *pool) { // want `badStop is marked //phase:shutdown but never joins the workers`
+	p.kind = 0
+}

@@ -150,3 +150,34 @@ func badIndexArg(e *eng, ids []int, workers, chunk int) {
 	}
 	wg.Wait()
 }
+
+// goodShardBody is the persistent-pool shape: a named method checked via
+// the //shard:body directive, shard bounds as parameters, the receiver as
+// captured shared state.
+//
+//shard:body
+func (e *eng) goodShardBody(w, lo, hi int, ids []int) {
+	for _, id := range ids {
+		if id < lo || id >= hi {
+			continue
+		}
+		e.state[id] = e.capOf(id) + 1
+		e.note(w, id)
+	}
+}
+
+// badShardBodyUnguarded writes shared state without the partition guard.
+//
+//shard:body
+func (e *eng) badShardBodyUnguarded(lo, hi int, ids []int) {
+	for _, id := range ids {
+		e.state[id] = 1 // want `not provably inside its partition`
+	}
+}
+
+// badShardBodyScalar writes the shared scalar from a worker body.
+//
+//shard:body
+func (e *eng) badShardBodyScalar(lo, hi int) {
+	e.total = lo // want `writes shared scalar state`
+}

@@ -28,14 +28,15 @@
 //     per-node arrival times, playback start delays (StartDelay, the
 //     paper's startup delay: max_j arrival_j − j), peak buffer occupancy
 //     under the Figure 5 playback convention, and hiccup accounting.
-//   - RunParallel is the sharded variant: per-slot fork/join over
-//     contiguous, cache-line-aligned NodeID partitions, with per-shard
-//     delivery staging merged deterministically at the slot barrier.
-//     Bit-identical with Run at any worker count (property-tested),
-//     including the observer event stream.
-//   - Runner owns the scratch arena and a small cache of compiled
-//     schedules for callers that run many simulations back to back; Run
-//     and RunParallel draw pooled Runners automatically.
+//   - RunParallel is the sharded variant: contiguous, cache-line-aligned
+//     NodeID partitions executed by a persistent worker pool (spawned
+//     once per Runner, driven through an epoch phase barrier — pool.go),
+//     with per-shard delivery staging merged deterministically at the
+//     slot barrier. Bit-identical with Run at any worker count
+//     (property-tested), including the observer event stream.
+//   - Runner owns the scratch arena, the worker pool, and a small cache
+//     of compiled schedules for callers that run many simulations back
+//     to back; Run and RunParallel draw pooled Runners automatically.
 //   - Options configures horizon, measurement window, stream mode,
 //     capacities, link latency, failure injection (Drop, SkipUnavailable,
 //     AllowIncomplete) and the observability hook (Observer).

@@ -1,0 +1,197 @@
+package slotsim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"streamcast/internal/core"
+	"streamcast/internal/obs"
+)
+
+// mergeDriver builds a bare parallel driver around an observer, with k
+// shard staging buffers ready to be filled by hand.
+func mergeDriver(rec obs.Observer, k int) *parallelDriver {
+	sc := &scratch{}
+	sc.shards.staged = make([][]shardedDeliver, k)
+	return &parallelDriver{
+		engine:  &engine{obs: rec, sc: sc},
+		workers: k,
+	}
+}
+
+// stagedTx fabricates a staged delivery whose transmission encodes the
+// arrival index, so the replayed order is checkable from the event stream.
+func stagedTx(idx int, dup bool) shardedDeliver {
+	return shardedDeliver{idx: idx, tx: core.Transmission{From: 0, To: 1, Packet: core.Packet(idx)}, dup: dup}
+}
+
+// checkMerged asserts the recorded events are exactly the deliveries
+// 0..count-1 in ascending index order.
+func checkMerged(t *testing.T, rec *obs.Recorder, count int) {
+	t.Helper()
+	if len(rec.Events) != count {
+		t.Fatalf("merged %d events, want %d", len(rec.Events), count)
+	}
+	for i, ev := range rec.Events {
+		if ev.Kind != obs.KindDeliver {
+			t.Fatalf("event %d: kind %v, want deliver", i, ev.Kind)
+		}
+		if int(ev.Tx.Packet) != i {
+			t.Fatalf("event %d: merged index %d out of order", i, ev.Tx.Packet)
+		}
+	}
+}
+
+// TestMergeStagedSkewed drives the heap merge across shard distributions
+// the linear-scan merge handled worst: one shard holding nearly all of a
+// slot's events, with a sprinkle of events owned by the other shards.
+func TestMergeStagedSkewed(t *testing.T) {
+	const workers, events = 8, 1000
+	rec := &obs.Recorder{}
+	p := mergeDriver(rec, workers)
+	staged := p.sc.shards.staged
+	for i := 0; i < events; i++ {
+		w := 2 // the dominating shard
+		if i%100 == 0 {
+			w = (i / 100) % workers
+		}
+		staged[w] = append(staged[w], stagedTx(i, i%7 == 3))
+	}
+	p.mergeStaged(5, events)
+	checkMerged(t, rec, events)
+	for i, ev := range rec.Events {
+		if ev.Dup != (i%7 == 3) {
+			t.Fatalf("event %d: dup flag %v lost in the merge", i, ev.Dup)
+		}
+	}
+}
+
+// TestMergeStagedSingleShard is the extreme skew: every event in one shard,
+// every other cursor empty from the first heap pop on.
+func TestMergeStagedSingleShard(t *testing.T) {
+	const workers, events = 7, 256
+	rec := &obs.Recorder{}
+	p := mergeDriver(rec, workers)
+	for i := 0; i < events; i++ {
+		p.sc.shards.staged[3] = append(p.sc.shards.staged[3], stagedTx(i, false))
+	}
+	p.mergeStaged(0, events)
+	checkMerged(t, rec, events)
+}
+
+// TestMergeStagedLimit truncates the replay at the violation index: the
+// merge must emit exactly the indexes below the limit and nothing after,
+// even when the cut lands mid-shard.
+func TestMergeStagedLimit(t *testing.T) {
+	const workers, events, limit = 4, 200, 137
+	rec := &obs.Recorder{}
+	p := mergeDriver(rec, workers)
+	for i := 0; i < events; i++ {
+		w := i % workers
+		p.sc.shards.staged[w] = append(p.sc.shards.staged[w], stagedTx(i, false))
+	}
+	p.mergeStaged(9, limit)
+	checkMerged(t, rec, limit)
+}
+
+// TestMergeStagedEmpty: no staged events, no observer calls, no panic.
+func TestMergeStagedEmpty(t *testing.T) {
+	rec := &obs.Recorder{}
+	p := mergeDriver(rec, 5)
+	p.mergeStaged(0, 100)
+	if len(rec.Events) != 0 {
+		t.Fatalf("merged %d events from empty staging", len(rec.Events))
+	}
+}
+
+// TestFirstErrorSmallestWins hammers the atomic fast-path from several
+// goroutines: whatever the interleaving, the violation with the smallest
+// transmission index must be the one reported. Run under `make race` this
+// also proves the CAS/mutex pairing publishes idx and err safely.
+func TestFirstErrorSmallestWins(t *testing.T) {
+	const reports, goroutines = 64, 4
+	errs := make([]error, reports)
+	for i := range errs {
+		errs[i] = fmt.Errorf("violation at %d", i)
+	}
+	for round := 0; round < 25; round++ {
+		var f firstError
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				// Each goroutine reports its stripe in descending order, so
+				// the winning minimum arrives last on every stripe.
+				for i := reports - goroutines + g; i >= 0; i -= goroutines {
+					f.report(i, errs[i])
+				}
+			}(g)
+		}
+		wg.Wait()
+		if !f.failed() {
+			t.Fatal("no violation recorded")
+		}
+		if f.idx != 0 || f.err != errs[0] {
+			t.Fatalf("round %d: recorded idx=%d err=%v, want the smallest index 0", round, f.idx, f.err)
+		}
+		if !f.doomedAt(0) || !f.doomedAt(17) {
+			t.Fatal("doomedAt must hold at and above the recorded index")
+		}
+		f.reset()
+		if f.failed() || f.doomedAt(reports) {
+			t.Fatal("reset did not clear the recorded violation")
+		}
+	}
+}
+
+// TestFirstErrorDoomedAt pins the break-safety predicate: a worker may only
+// abandon arrivals at positions where the recorded minimum is already at or
+// below its own index.
+func TestFirstErrorDoomedAt(t *testing.T) {
+	var f firstError
+	if f.doomedAt(0) {
+		t.Fatal("clean slot reads as doomed")
+	}
+	f.report(40, fmt.Errorf("later"))
+	if f.doomedAt(39) {
+		t.Fatal("doomed below the recorded index: events before it would be lost")
+	}
+	if !f.doomedAt(40) || !f.doomedAt(41) {
+		t.Fatal("not doomed at/after the recorded index")
+	}
+	f.report(10, fmt.Errorf("earlier"))
+	if f.idx != 10 {
+		t.Fatalf("idx=%d after a smaller report, want 10", f.idx)
+	}
+	f.report(25, fmt.Errorf("in between"))
+	if f.idx != 10 {
+		t.Fatalf("idx=%d after a larger report, want 10 preserved", f.idx)
+	}
+}
+
+// TestShardPlan pins the shard geometry: cache-line aligned chunks, no
+// zero-width shards, full coverage.
+func TestShardPlan(t *testing.T) {
+	for _, tc := range []struct{ nodes, workers, chunk, eff int }{
+		{1, 4, 64, 1},
+		{64, 1, 64, 1},
+		{65, 2, 64, 2},
+		{201, 2, 128, 2},
+		{1025, 4, 320, 4},
+		{100001, 7, 14336, 7},
+	} {
+		chunk, eff := shardPlan(tc.nodes, tc.workers)
+		if chunk != tc.chunk || eff != tc.eff {
+			t.Errorf("shardPlan(%d, %d) = (%d, %d), want (%d, %d)",
+				tc.nodes, tc.workers, chunk, eff, tc.chunk, tc.eff)
+		}
+		if chunk%shardAlign != 0 {
+			t.Errorf("shardPlan(%d, %d): chunk %d not cache-line aligned", tc.nodes, tc.workers, chunk)
+		}
+		if (eff-1)*chunk >= tc.nodes || eff*chunk < tc.nodes {
+			t.Errorf("shardPlan(%d, %d): %d shards of %d do not tile the id space", tc.nodes, tc.workers, eff, chunk)
+		}
+	}
+}

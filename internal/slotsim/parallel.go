@@ -2,46 +2,52 @@ package slotsim
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"streamcast/internal/core"
 )
 
-// RunParallel executes the scheme with per-slot fork/join parallelism over
+// RunParallel executes the scheme with persistent shard workers over
 // contiguous NodeID shards: sender validation is sharded by sender ID and
-// delivery is sharded by receiver ID, so no two goroutines touch the same
+// delivery is sharded by receiver ID, so no two workers touch the same
 // node's state — and because each shard is a contiguous ID range sized in
 // whole cache lines of the engine's flat per-node arrays, no two workers
-// even share a cache line. The result is bit-identical with Run — the slot
-// barrier is a hard synchronization point, mirroring the model's lock-step
-// slots.
+// even share a cache line. The worker pool is spawned once per run (and,
+// via the pooled Runner, reused across runs); each dense slot drives the
+// validate and deliver phases through the pool's epoch barrier (pool.go)
+// instead of forking goroutines, so steady-state slots create zero
+// goroutines. The result is bit-identical with Run — the barrier is a hard
+// synchronization point, mirroring the model's lock-step slots.
 //
 // When Options.Observer is set, each worker batches its deliveries into a
 // per-shard staging buffer tagged with the transmission index; the shards
-// are k-way merged in index order at the slot barrier before the observer
+// are heap-merged in index order at the slot barrier before the observer
 // is invoked, so the observed event stream is identical to the sequential
 // engine's (the parity tests in internal/obs assert this byte for byte).
 //
 // workers <= 0 selects GOMAXPROCS. Slots with little scheduled work run on
-// the sequential step under the hood — same state, same events — so worker
-// fan-out costs nothing during sparse warmup and drain phases.
+// the sequential step under the hood — same state, same events — so the
+// barrier costs nothing during sparse warmup and drain phases.
 //
 // Like Run, each call draws an exclusively-owned Runner from the internal
-// pool for scratch and compiled-schedule reuse.
+// pool for scratch, worker-pool and compiled-schedule reuse.
 func RunParallel(s core.Scheme, opt Options, workers int) (*Result, error) {
 	return pooledRun(s, opt, true, workers)
 }
 
 // shardScratch is the parallel driver's reusable staging area: observer
-// delivery batches and merge cursors, one slot per worker, recycled across
-// slots and runs.
+// delivery batches, per-shard arrival buckets, and merge cursors, one slot
+// per worker, recycled across slots and runs.
 type shardScratch struct {
-	staged [][]shardedDeliver // per-shard observer staging, merged at the barrier
-	heads  []int              // k-way merge cursors
+	staged  [][]shardedDeliver // per-shard observer staging, merged at the barrier
+	byShard [][]int32          // per-shard arrival indexes (route staging, see stageArrivals)
+	heads   []int              // k-way merge cursors
+	heap    []int              // shard-cursor min-heap backing for mergeStaged
 }
 
-// parallelCutoff is the fork/join break-even point: a slot scheduling fewer
+// parallelCutoff is the barrier break-even point: a slot scheduling fewer
 // transmissions than this runs on the sequential step instead (identical
-// state transitions and events, none of the goroutine overhead).
+// state transitions and events, none of the dispatch overhead).
 const parallelCutoff = 64
 
 // shardAlign is the shard-boundary granularity in nodes. 64 nodes is a
@@ -50,6 +56,11 @@ const parallelCutoff = 64
 // state line is ever written by more than one worker.
 const shardAlign = 64
 
+// parallelDriver couples one run's engine to the Runner's persistent worker
+// pool. It lives inside the Runner's scratch and is re-attached per run
+// (field by field — it embeds a mutex and atomics, so it is never copied
+// wholesale); the per-slot job fields below are the message board between
+// the driver and the workers.
 type parallelDriver struct {
 	*engine
 	// workers is the effective worker count: min(requested, shards needed
@@ -58,17 +69,42 @@ type parallelDriver struct {
 	// chunk is the shard width in nodes, a multiple of shardAlign; shard w
 	// owns ids [w·chunk, (w+1)·chunk).
 	chunk int
+	// pool runs the phase bodies. Its epoch barrier synchronizes the job
+	// fields below: the driver writes them strictly between barriers, the
+	// epoch increment publishes them, and the pending drain hands them back.
+	pool     *workerPool
+	slot     core.Slot
+	txs      []core.Transmission // validate-phase input (the slot's schedule)
+	arrivals []core.Transmission // deliver-phase input (the slot's arrivals)
+	tick     uint32              // capacity epoch of the current phase
+	staging  bool                // deliver phase stages observer events
+	ferr     firstError
 }
 
-// newParallelDriver sizes contiguous shards for the run and readies the
-// per-shard scratch (SlotsUsed cursors, staging buffers).
-func newParallelDriver(e *engine, workers int) *parallelDriver {
-	nodes := e.n + 1
-	chunk := (nodes + workers - 1) / workers
+// shardPlan sizes contiguous shards: chunk is the shard width in nodes,
+// rounded up to whole cache lines (shardAlign), and eff is the number of
+// shards actually needed to cover nodes at that width.
+func shardPlan(nodes, workers int) (chunk, eff int) {
+	chunk = (nodes + workers - 1) / workers
 	chunk = (chunk + shardAlign - 1) / shardAlign * shardAlign
-	eff := (nodes + chunk - 1) / chunk
-	p := &parallelDriver{engine: e, workers: eff, chunk: chunk}
+	eff = (nodes + chunk - 1) / chunk
+	return chunk, eff
+}
+
+// attachDriver readies the scratch-resident driver for one run against the
+// Runner's pool and sizes the per-shard scratch (SlotsUsed cursors, staging
+// buffers, arrival buckets).
+func attachDriver(e *engine, workers int, pool *workerPool) *parallelDriver {
+	chunk, eff := shardPlan(e.n+1, workers)
 	sc := e.sc
+	p := &sc.drv
+	p.engine = e
+	p.workers = eff
+	p.chunk = chunk
+	p.pool = pool
+	p.txs, p.arrivals = nil, nil
+	p.staging = false
+	p.ferr.reset()
 	for len(sc.maxArr) < eff {
 		sc.maxArr = append(sc.maxArr, -1)
 	}
@@ -78,23 +114,80 @@ func newParallelDriver(e *engine, workers int) *parallelDriver {
 		sc.shards.staged = staged
 	}
 	sc.shards.staged = sc.shards.staged[:eff]
+	if cap(sc.shards.byShard) < eff {
+		byShard := make([][]int32, eff)
+		copy(byShard, sc.shards.byShard)
+		sc.shards.byShard = byShard
+	}
+	sc.shards.byShard = sc.shards.byShard[:eff]
+	pool.driver = p
 	return p
 }
 
-// firstError keeps the violation with the smallest transmission index so the
-// reported error is deterministic regardless of goroutine interleaving.
+// detach drops the run's references once the slot loop is done, so a parked
+// Runner (and the pool's workers) pin no scheme, observer or schedule
+// memory. The pool itself stays hot for the next run.
+func (p *parallelDriver) detach() {
+	p.pool.detach()
+	p.engine = nil
+	p.txs, p.arrivals = nil, nil
+}
+
+// firstError keeps the violation with the smallest transmission index so
+// the reported error is deterministic regardless of goroutine interleaving.
+// The atomic min is the fast path: clean slots never touch the mutex at
+// all, and a report that cannot lower the current minimum returns after one
+// atomic load. Only reports that win the CAS — at most a handful per failed
+// slot — fall through to the mutex that orders the error value itself.
 type firstError struct {
+	// min holds the smallest reported index + 1; 0 means no violation.
+	// Within one slot it only ever decreases toward smaller indexes.
+	min atomic.Int64
 	mu  sync.Mutex
 	idx int
 	err error
 }
 
+// reset readies the collector for the next slot; the driver calls it
+// between barriers, when no worker is running.
+func (f *firstError) reset() {
+	if f.min.Load() != 0 {
+		f.min.Store(0)
+		f.idx, f.err = 0, nil
+	}
+}
+
+// failed reports whether any violation has been recorded this slot.
+func (f *firstError) failed() bool { return f.min.Load() != 0 }
+
+// report records a violation at transmission index idx, keeping the
+// smallest. The CAS loop claims the new minimum before the mutex is taken,
+// so only claims that actually lower the minimum ever lock.
 func (f *firstError) report(idx int, err error) {
+	for {
+		cur := f.min.Load()
+		if cur != 0 && int64(idx) >= cur-1 {
+			return
+		}
+		if f.min.CompareAndSwap(cur, int64(idx)+1) {
+			break
+		}
+	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if f.err == nil || idx < f.idx {
 		f.idx, f.err = idx, err
 	}
+	f.mu.Unlock()
+}
+
+// doomedAt reports whether a violation at index m ≤ i is already recorded.
+// A worker positioned at arrival index i may abandon the slot on this
+// condition and no earlier: the final merge limit can only be ≤ m ≤ i, and
+// every event the worker staged below i is already in place, so the
+// truncated prefix the observer replays stays complete.
+func (f *firstError) doomedAt(i int) bool {
+	m := f.min.Load()
+	return m != 0 && m-1 <= int64(i)
 }
 
 func (p *parallelDriver) step(t core.Slot, txs []core.Transmission) error {
@@ -159,8 +252,28 @@ func (p *parallelDriver) shardRange(w int) (lo, hi core.NodeID) {
 	return lo, hi
 }
 
-// validateSendsParallel is the sharded counterpart of validateSends: each
-// worker validates the senders in its own contiguous ID range.
+// runShard executes one phase job for pool worker w. Workers beyond the
+// run's effective shard count (the pool may have been grown by an earlier,
+// wider run) participate in the barrier but own no ids.
+func (d *parallelDriver) runShard(kind jobKind, w int) {
+	if w >= d.workers {
+		return
+	}
+	lo, hi := d.shardRange(w)
+	if lo >= hi {
+		return
+	}
+	switch kind {
+	case jobValidate:
+		d.validateShard(lo, hi)
+	case jobDeliver:
+		d.deliverShard(w, lo, hi)
+	}
+}
+
+// validateSendsParallel is the sharded counterpart of validateSends: after
+// the cheap deterministic range scan, one barrier dispatch has every worker
+// validate the senders in its own contiguous ID range.
 //
 //phase:validate
 func (p *parallelDriver) validateSendsParallel(t core.Slot, txs []core.Transmission) error {
@@ -174,40 +287,39 @@ func (p *parallelDriver) validateSendsParallel(t core.Slot, txs []core.Transmiss
 			return &Violation{t, "self transmission", tx}
 		}
 	}
-	tick := p.nextTick()
-	var ferr firstError
-	var wg sync.WaitGroup
-	for w := 0; w < p.workers; w++ {
-		lo, hi := p.shardRange(w)
-		if lo >= hi {
+	p.slot, p.txs, p.tick = t, txs, p.nextTick()
+	p.ferr.reset()
+	p.pool.dispatch(jobValidate)
+	return p.ferr.err
+}
+
+// validateShard validates the senders of one shard — ids [lo, hi) — against
+// the slot published in the driver's job fields. Runs on a pool worker
+// between two epoch barriers.
+//
+//phase:validate
+//shard:body
+func (p *parallelDriver) validateShard(lo, hi core.NodeID) {
+	t, txs, tick := p.slot, p.txs, p.tick
+	for i, tx := range txs {
+		if tx.From < lo || tx.From >= hi {
 			continue
 		}
-		wg.Add(1)
-		go func(lo, hi core.NodeID) {
-			defer wg.Done()
-			for i, tx := range txs {
-				if tx.From < lo || tx.From >= hi {
-					continue
-				}
-				st := p.sentSt[tx.From]
-				c := uint32(1)
-				if uint32(st>>32) == tick {
-					c = uint32(st) + 1
-				}
-				p.sentSt[tx.From] = uint64(tick)<<32 | uint64(c)
-				if int32(c) > p.sendCapOf(tx.From) {
-					ferr.report(i, &Violation{t, "send capacity exceeded", tx})
-					return
-				}
-				if !p.holds(tx.From, tx.Packet, t) {
-					ferr.report(i, &Violation{t, "sender does not hold packet", tx})
-					return
-				}
-			}
-		}(lo, hi)
+		st := p.sentSt[tx.From]
+		c := uint32(1)
+		if uint32(st>>32) == tick {
+			c = uint32(st) + 1
+		}
+		p.sentSt[tx.From] = uint64(tick)<<32 | uint64(c)
+		if int32(c) > p.sendCapOf(tx.From) {
+			p.ferr.report(i, &Violation{t, "send capacity exceeded", tx})
+			return
+		}
+		if !p.holds(tx.From, tx.Packet, t) {
+			p.ferr.report(i, &Violation{t, "sender does not hold packet", tx})
+			return
+		}
 	}
-	wg.Wait()
-	return ferr.err
 }
 
 // shardedDeliver is one worker-local delivery event awaiting the barrier
@@ -218,14 +330,15 @@ type shardedDeliver struct {
 	dup bool
 }
 
-// deliverParallel is the sharded counterpart of deliver: each worker applies
-// the arrivals addressed to its own contiguous receiver range, staging
-// observer events for the barrier merge.
+// deliverParallel is the sharded counterpart of deliver: the slot's
+// arrivals are bucketed by receiver shard single-threaded, then one barrier
+// dispatch has every worker apply exactly its own bucket, staging observer
+// events for the merge at the barrier.
 //
 //phase:deliver
 func (p *parallelDriver) deliverParallel(t core.Slot, arrivals []core.Transmission) error {
-	tick := p.nextTick()
-	staging := p.obs != nil
+	p.slot, p.arrivals, p.tick = t, arrivals, p.nextTick()
+	p.staging = p.obs != nil
 	// Pre-mark the dirty packet rows single-threaded: workers in different
 	// shards deliver the same packets, so the per-packet bitmap cannot be
 	// written concurrently. Marking a row whose write is then rejected
@@ -235,102 +348,179 @@ func (p *parallelDriver) deliverParallel(t core.Slot, arrivals []core.Transmissi
 			p.dirtyRows[int(tx.Packet)>>6] |= 1 << (uint(tx.Packet) & 63)
 		}
 	}
-	var ferr firstError
-	var wg sync.WaitGroup
-	for w := 0; w < p.workers; w++ {
-		lo, hi := p.shardRange(w)
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w int, lo, hi core.NodeID) {
-			defer wg.Done()
-			var stage []shardedDeliver
-			if staging {
-				stage = p.sc.shards.staged[w][:0]
-			}
-			for i, tx := range arrivals {
-				if tx.To < lo || tx.To >= hi {
-					continue
-				}
-				st := p.recvSt[tx.To]
-				c := uint32(1)
-				if uint32(st>>32) == tick {
-					c = uint32(st) + 1
-				}
-				p.recvSt[tx.To] = uint64(tick)<<32 | uint64(c)
-				if int32(c) > p.recvCapOf(tx.To) {
-					ferr.report(i, &Violation{t, "receive capacity exceeded", tx})
-					break
-				}
-				if p.isSource(tx.To) || tx.Packet >= p.maxPkt {
-					if staging {
-						stage = append(stage, shardedDeliver{i, tx, false})
-					}
-					continue
-				}
-				idx := int(tx.Packet)*p.stride + int(tx.To)
-				if p.arr[idx] != unset32 {
-					if !p.opt.AllowDuplicates {
-						ferr.report(i, &Violation{t, "duplicate packet", tx})
-						break
-					}
-					if staging {
-						stage = append(stage, shardedDeliver{i, tx, true})
-					}
-					continue
-				}
-				p.arr[idx] = int32(t) + 1
-				p.noteDelivery(w, tx.To, tx.Packet, t)
-				if staging {
-					stage = append(stage, shardedDeliver{i, tx, false})
-				}
-			}
-			if staging {
-				p.sc.shards.staged[w] = stage
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	if staging {
+	p.stageArrivals(arrivals)
+	p.ferr.reset()
+	p.pool.dispatch(jobDeliver)
+	if p.staging {
 		// Barrier merge: replay the per-shard delivery batches to the
 		// observer in arrival order, truncated at the first violation —
 		// the exact prefix the sequential engine emits.
 		limit := len(arrivals)
-		if ferr.err != nil {
-			limit = ferr.idx
+		if p.ferr.failed() {
+			limit = p.ferr.idx
 		}
 		p.mergeStaged(t, limit)
 	}
-	return ferr.err
+	return p.ferr.err
 }
 
-// mergeStaged k-way merges the per-shard staging buffers (each already in
-// ascending transmission-index order) and replays deliveries with index
-// below limit to the observer. Runs single-threaded at the slot barrier.
+// stageArrivals buckets the slot's arrival indexes by receiver shard, so
+// each worker walks exactly its own arrivals instead of filtering the full
+// list — without this, route()'s output funnels every worker through an
+// O(arrivals) scan and dense slots serialize on memory bandwidth. One
+// sequential append pass writing one int32 per arrival; bucket storage is
+// scratch-backed and recycled across slots and runs. Receiver ids were
+// range-checked when their transmissions were validated, so every arrival
+// maps to a live shard.
+func (p *parallelDriver) stageArrivals(arrivals []core.Transmission) {
+	byShard := p.sc.shards.byShard
+	for w := 0; w < p.workers; w++ {
+		byShard[w] = byShard[w][:0]
+	}
+	for i, tx := range arrivals {
+		w := p.shardFor(tx.To)
+		byShard[w] = append(byShard[w], int32(i))
+	}
+}
+
+// deliverShard applies the arrivals addressed to shard w — receiver ids
+// [lo, hi) — from its pre-bucketed index list, staging observer events for
+// the barrier merge. Runs on a pool worker between two epoch barriers. The
+// periodic doomedAt poll lets a worker abandon a slot another shard has
+// already failed; see doomedAt for why that never truncates the merged
+// event stream below the violation index.
+//
+//phase:deliver
+//shard:body
+func (p *parallelDriver) deliverShard(w int, lo, hi core.NodeID) {
+	t, arrivals, tick := p.slot, p.arrivals, p.tick
+	staging := p.staging
+	var stage []shardedDeliver
+	if staging {
+		stage = p.sc.shards.staged[w][:0]
+	}
+	for _, k := range p.sc.shards.byShard[w] {
+		i := int(k)
+		tx := arrivals[i]
+		if tx.To < lo || tx.To >= hi {
+			continue
+		}
+		if i&255 == 255 && p.ferr.doomedAt(i) {
+			break
+		}
+		st := p.recvSt[tx.To]
+		c := uint32(1)
+		if uint32(st>>32) == tick {
+			c = uint32(st) + 1
+		}
+		p.recvSt[tx.To] = uint64(tick)<<32 | uint64(c)
+		if int32(c) > p.recvCapOf(tx.To) {
+			p.ferr.report(i, &Violation{t, "receive capacity exceeded", tx})
+			break
+		}
+		if p.isSource(tx.To) || tx.Packet >= p.maxPkt {
+			if staging {
+				stage = append(stage, shardedDeliver{i, tx, false})
+			}
+			continue
+		}
+		idx := int(tx.Packet)*p.stride + int(tx.To)
+		if p.arr[idx] != unset32 {
+			if !p.opt.AllowDuplicates {
+				p.ferr.report(i, &Violation{t, "duplicate packet", tx})
+				break
+			}
+			if staging {
+				stage = append(stage, shardedDeliver{i, tx, true})
+			}
+			continue
+		}
+		p.arr[idx] = int32(t) + 1
+		p.noteDelivery(w, tx.To, tx.Packet, t)
+		if staging {
+			stage = append(stage, shardedDeliver{i, tx, false})
+		}
+	}
+	if staging {
+		p.sc.shards.staged[w] = stage
+	}
+}
+
+// mergeStaged replays staged deliveries with transmission index below limit
+// to the observer, k-way merging the per-shard buffers (each already in
+// ascending index order) through a binary min-heap of shard cursors. The
+// previous implementation rescanned every shard head per event — O(k) per
+// event, and pure overhead when one dense shard holds nearly all of a
+// slot's events; the heap pays O(log k) per event and collapses toward
+// O(1) in that skewed case, because the dominating cursor keeps winning at
+// the root. Indexes are unique within a slot, so the merge order — and the
+// observed event stream — is deterministic. Runs single-threaded on the
+// driver at the slot barrier.
 //
 //phase:merge
 func (p *parallelDriver) mergeStaged(t core.Slot, limit int) {
-	if p.obs != nil {
-		st := &p.sc.shards
-		st.heads = grownInts(st.heads, p.workers)
-		for w := range st.heads {
-			st.heads[w] = 0
+	if p.obs == nil {
+		return
+	}
+	st := &p.sc.shards
+	st.heads = grownInts(st.heads, p.workers)
+	heap := grownInts(st.heap, p.workers)[:0]
+	for w := 0; w < p.workers; w++ {
+		st.heads[w] = 0
+		if len(st.staged[w]) > 0 {
+			heap = append(heap, w)
 		}
-		for {
-			best := -1
-			bestIdx := int(^uint(0) >> 1) // max int
-			for w := 0; w < p.workers; w++ {
-				if h := st.heads[w]; h < len(st.staged[w]) && st.staged[w][h].idx < bestIdx {
-					best, bestIdx = w, st.staged[w][h].idx
-				}
-			}
-			if best < 0 || bestIdx >= limit {
-				return
-			}
-			d := st.staged[best][st.heads[best]]
-			st.heads[best]++
+	}
+	st.heap = heap
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		st.siftDown(heap, i)
+	}
+	for len(heap) > 0 {
+		w := heap[0]
+		d := st.staged[w][st.heads[w]]
+		if d.idx >= limit {
+			// The root is the global minimum: everything left is past the
+			// violation cut.
+			return
+		}
+		st.heads[w]++
+		if p.obs != nil {
 			p.obs.Deliver(t, d.tx, d.dup)
 		}
+		if st.heads[w] == len(st.staged[w]) {
+			n := len(heap) - 1
+			heap[0] = heap[n]
+			heap = heap[:n]
+			st.heap = heap
+		}
+		if len(heap) > 0 {
+			st.siftDown(heap, 0)
+		}
+	}
+}
+
+// headIdx is the merge key of shard w's cursor: the transmission index of
+// its next staged event.
+func (st *shardScratch) headIdx(w int) int {
+	return st.staged[w][st.heads[w]].idx
+}
+
+// siftDown restores the min-heap property of the shard-cursor heap below
+// position i.
+func (st *shardScratch) siftDown(h []int, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && st.headIdx(h[r]) < st.headIdx(h[l]) {
+			m = r
+		}
+		if st.headIdx(h[i]) <= st.headIdx(h[m]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
 	}
 }

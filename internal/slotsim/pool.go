@@ -1,0 +1,195 @@
+package slotsim
+
+// Persistent shard workers (PERFORMANCE.md §3). The parallel driver used to
+// fork a fresh set of goroutines for every phase of every slot — two
+// sync.WaitGroup spawn/join cycles per slot, roughly 2M goroutine creations
+// over a million-slot run. workerPool replaces that with a fixed crew of
+// workers parked on a phase barrier: the driver publishes one phase job per
+// barrier crossing with a single atomic epoch increment, each worker runs
+// its shard of the job and decrements an atomic pending counter, and the
+// last decrement releases the driver. In steady state a dense slot costs
+// zero goroutine creation and exactly two barrier crossings (validate,
+// deliver); the merge phase runs on the driver itself.
+//
+// The barrier is futex-style, not channel-based. Channels would put a lock
+// acquisition, a queue operation and a goroutine handoff on every phase of
+// every slot; here the hot path is one atomic store + increment on the
+// publish side and one atomic decrement on the completion side. The two
+// sync.Cond variables exist only for the parked case: a waiter first spins
+// on the atomic (when real parallelism is available), then re-checks its
+// predicate under the mutex and sleeps on the runtime's notify list —
+// exactly a futex wait. The atomics carry the happens-before edges: job
+// fields are written before the epoch increment and read after the epoch
+// load, shard writes complete before the pending decrement and are observed
+// after the driver sees pending reach zero.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+type workerPool struct {
+	// epoch publishes a new job: workers wait for it to advance past the
+	// last value they served. It only ever increments while every worker is
+	// accounted for (pending drained), so a worker can never miss a job.
+	epoch atomic.Uint64
+	// pending counts workers that have not yet finished the current job;
+	// the driver waits for it to reach zero before touching shared state.
+	pending atomic.Int32
+	// kind and driver describe the current job. Written by the driver
+	// strictly before the epoch increment, read by workers strictly after
+	// the epoch load — the atomic pair makes these plain fields safe.
+	kind   jobKind
+	driver *parallelDriver
+	// size is the number of spawned workers; every one of them participates
+	// in every barrier (workers whose shard index exceeds the run's
+	// effective worker count no-op their job).
+	size int
+	// spin is the number of atomic polls a waiter burns before parking.
+	// Zero on a single-CPU host, where spinning only steals time from the
+	// goroutine that would publish the state change.
+	spin int
+
+	mu    sync.Mutex // parks workers awaiting the next epoch
+	cond  sync.Cond
+	dmu   sync.Mutex // parks the driver awaiting the pending drain
+	dcond sync.Cond
+	wg    sync.WaitGroup // joins workers at shutdown
+}
+
+// jobKind selects the phase body the workers run on the next epoch.
+type jobKind uint32
+
+const (
+	jobValidate jobKind = 1 + iota
+	jobDeliver
+	jobShutdown
+)
+
+// poolSpinBudget is how many atomic polls a waiter burns before parking on
+// its condition variable when more than one CPU is available. Phase bodies
+// of dense slots run for tens of microseconds; a few thousand ~1ns polls
+// keep the barrier handoff off the scheduler entirely in that regime while
+// still bounding wasted cycles when a slot is unexpectedly slow.
+const poolSpinBudget = 4096
+
+// newWorkerPool returns an empty pool; workers are spawned by ensure.
+func newWorkerPool() *workerPool {
+	p := &workerPool{}
+	p.cond.L = &p.mu
+	p.dcond.L = &p.dmu
+	return p
+}
+
+// ensure grows the pool to at least n workers. Called once per run, before
+// the slot loop — never from inside it — so steady-state slots reuse the
+// same goroutines across slots and, because the pool is owned by the pooled
+// Runner, across runs.
+//
+//phase:spawn
+func (p *workerPool) ensure(n int) {
+	p.spin = 0
+	if runtime.GOMAXPROCS(0) > 1 {
+		p.spin = poolSpinBudget
+	}
+	for p.size < n {
+		p.wg.Add(1)
+		go p.run(p.size, p.epoch.Load(), p.spin)
+		p.size++
+	}
+}
+
+// shutdown dispatches the terminal job and joins every worker. Idempotent;
+// the pool is reusable afterwards (ensure respawns).
+//
+//phase:shutdown
+func (p *workerPool) shutdown() {
+	if p.size == 0 {
+		return
+	}
+	p.driver = nil
+	p.dispatch(jobShutdown)
+	p.wg.Wait()
+	p.size = 0
+}
+
+// detach drops the pool's pointer into the finished run so a parked pool
+// pins no engine or scratch memory. Safe without the barrier dance: workers
+// only read the driver field between an epoch load and their pending
+// decrement, and dispatch has already waited that window out.
+func (p *workerPool) detach() { p.driver = nil }
+
+// dispatch publishes one job to every worker and blocks until all of them
+// have finished it. This is the whole per-phase barrier cost: one atomic
+// store + one increment to publish, one decrement per worker to complete,
+// plus a broadcast for any worker that had given up spinning and parked.
+func (p *workerPool) dispatch(kind jobKind) {
+	p.kind = kind
+	p.pending.Store(int32(p.size))
+	p.mu.Lock()
+	p.epoch.Add(1)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	for i := 0; i < p.spin; i++ {
+		if p.pending.Load() == 0 {
+			return
+		}
+	}
+	p.dmu.Lock()
+	for p.pending.Load() != 0 {
+		p.dcond.Wait()
+	}
+	p.dmu.Unlock()
+}
+
+// run is the persistent worker loop: await the next epoch, execute this
+// worker's shard of the published job, signal completion, repeat until the
+// shutdown job arrives. Spawned once by ensure and joined by shutdown's
+// WaitGroup wait; between jobs the worker holds no reference to any run.
+//
+//phase:worker
+func (p *workerPool) run(w int, last uint64, spin int) {
+	defer p.wg.Done()
+	for {
+		last = p.await(last, spin)
+		kind, d := p.kind, p.driver
+		if kind == jobShutdown {
+			p.finishJob()
+			return
+		}
+		if d != nil {
+			d.runShard(kind, w)
+		}
+		p.finishJob()
+	}
+}
+
+// await blocks until the epoch advances past last and returns the new value:
+// spin first, then park under the mutex (the epoch is re-checked after
+// acquiring it, and dispatch increments it under the same mutex, so a
+// wakeup can never be missed).
+func (p *workerPool) await(last uint64, spin int) uint64 {
+	for i := 0; i < spin; i++ {
+		if e := p.epoch.Load(); e != last {
+			return e
+		}
+	}
+	p.mu.Lock()
+	for p.epoch.Load() == last {
+		p.cond.Wait()
+	}
+	e := p.epoch.Load()
+	p.mu.Unlock()
+	return e
+}
+
+// finishJob retires this worker's share of the current job; the last worker
+// to finish wakes the driver if it parked.
+func (p *workerPool) finishJob() {
+	if p.pending.Add(-1) == 0 {
+		p.dmu.Lock()
+		p.dcond.Signal()
+		p.dmu.Unlock()
+	}
+}

@@ -35,6 +35,7 @@ type scratch struct {
 	arrive     []core.Transmission // same-slot arrival list
 	ring       txRing              // in-flight transmissions keyed by arrival slot
 	shards     shardScratch        // parallel driver staging (see parallel.go)
+	drv        parallelDriver      // parallel driver, re-attached per run (never copied)
 	eng        engine              // engine state, reset per run
 }
 
@@ -56,10 +57,38 @@ type Runner struct {
 	sc    scratch
 	cache [4]compiledEntry
 	next  int
+	// pool holds the Runner's persistent shard workers (pool.go), spawned
+	// on the first RunParallel and reused — parked, not respawned — across
+	// runs. Close releases them; a finalizer backstops Runners that are
+	// simply dropped.
+	pool *workerPool
 }
 
 // NewRunner returns an empty Runner; buffers grow on first use.
 func NewRunner() *Runner { return &Runner{} }
+
+// ensurePool returns the Runner's worker pool grown to at least n workers,
+// creating it (and arming the finalizer backstop) on first use.
+func (r *Runner) ensurePool(n int) *workerPool {
+	if r.pool == nil {
+		r.pool = newWorkerPool()
+		// A Runner dropped without Close would otherwise strand its parked
+		// workers forever; the finalizer joins them when the Runner is
+		// collected. Runners parked in the internal sync.Pool stay reachable,
+		// so their hot pools survive until the GC trims the pool itself.
+		runtime.SetFinalizer(r, (*Runner).Close)
+	}
+	r.pool.ensure(n)
+	return r.pool
+}
+
+// Close joins the Runner's persistent shard workers, if any. Idempotent,
+// and the Runner remains usable — a later RunParallel respawns the pool.
+func (r *Runner) Close() {
+	if r.pool != nil {
+		r.pool.shutdown()
+	}
+}
 
 // Run executes the scheme on the sequential engine, compiling its schedule
 // first when the scheme is periodic and the horizon makes it worthwhile.
@@ -90,7 +119,9 @@ func (r *Runner) RunParallel(s core.Scheme, opt Options, workers int) (*Result, 
 	if err != nil {
 		return nil, err
 	}
-	p := newParallelDriver(e, workers)
+	_, eff := shardPlan(e.n+1, workers)
+	p := attachDriver(e, workers, r.ensurePool(eff))
+	defer p.detach()
 	for t := core.Slot(0); t < opt.Slots; t++ {
 		if err := p.step(t, s.Transmissions(t)); err != nil {
 			return nil, err

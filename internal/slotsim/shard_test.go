@@ -2,7 +2,10 @@ package slotsim_test
 
 import (
 	"reflect"
+	"runtime"
+	"strings"
 	"testing"
+	"time"
 
 	"streamcast/internal/core"
 	"streamcast/internal/multitree"
@@ -144,5 +147,208 @@ func TestSteadyStateAllocFree(t *testing.T) {
 	})
 	if ext > base {
 		t.Errorf("64 extra slots cost %.0f allocations (%.0f vs %.0f): the per-slot path is not allocation-free", ext-base, ext, base)
+	}
+}
+
+// TestParallelSteadyStateAllocFree is the sharded counterpart of
+// TestSteadyStateAllocFree: on a warmed Runner with a live worker pool,
+// extra slots through the persistent-worker barrier must allocate nothing,
+// and a whole parallel run must stay within 2x of the sequential engine's
+// fixed per-run cost.
+func TestParallelSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by the race detector")
+	}
+	s, opt := shardCase(t, 2000, 4)
+	long := opt
+	long.Slots += 64
+	r := slotsim.NewRunner()
+	defer r.Close()
+	if _, err := r.RunParallel(s, long, 4); err != nil {
+		t.Fatal(err)
+	}
+	seq := testing.AllocsPerRun(5, func() {
+		if _, err := r.Run(s, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	base := testing.AllocsPerRun(5, func() {
+		if _, err := r.RunParallel(s, opt, 4); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ext := testing.AllocsPerRun(5, func() {
+		if _, err := r.RunParallel(s, long, 4); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if ext > base {
+		t.Errorf("64 extra sharded slots cost %.0f allocations (%.0f vs %.0f): the barrier path is not allocation-free", ext-base, ext, base)
+	}
+	if base > 2*seq {
+		t.Errorf("sharded run costs %.0f allocations, sequential %.0f: the parallel path must stay within 2x", base, seq)
+	}
+}
+
+// denseScheme floods every receiver with packet 0 in slot 0 — enough
+// arrivals to force the parallel branch from the first slot, with the
+// source's capacity sized to match.
+type denseScheme struct{ n int }
+
+func (d denseScheme) Name() string        { return "dense" }
+func (d denseScheme) NumReceivers() int   { return d.n }
+func (d denseScheme) SourceCapacity() int { return d.n }
+func (d denseScheme) Transmissions(t core.Slot) []core.Transmission {
+	if t != 0 {
+		return nil
+	}
+	txs := make([]core.Transmission, d.n)
+	for i := range txs {
+		txs[i] = core.Transmission{From: core.SourceID, To: core.NodeID(i + 1), Packet: 0}
+	}
+	return txs
+}
+func (d denseScheme) Neighbors() map[core.NodeID][]core.NodeID { return nil }
+
+// TestWorkerPoolLifecycle drives the persistent pool through its edge
+// states: a violation raised by a shard worker mid-slot, reuse of the same
+// Runner (and its parked workers) across different worker counts, and
+// respawn after an explicit Close.
+func TestWorkerPoolLifecycle(t *testing.T) {
+	s := denseScheme{n: 1024}
+	opt := slotsim.Options{Slots: 2, Packets: 1, Mode: core.PreRecorded}
+	r := slotsim.NewRunner()
+	defer r.Close()
+
+	// A run error raised inside the parallel deliver phase must surface
+	// deterministically and leave the pool parked and reusable.
+	bad := opt
+	bad.RecvCap = func(id core.NodeID) int {
+		if id == 150 {
+			return 0
+		}
+		return 1
+	}
+	_, err := r.RunParallel(s, bad, 4)
+	if err == nil || !strings.Contains(err.Error(), "receive capacity exceeded") {
+		t.Fatalf("mid-slot violation: got %v, want receive capacity exceeded", err)
+	}
+	want, err := r.Run(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same Runner, different worker counts: the pool grows in place and
+	// wider pools serve narrower runs with the spare workers idling.
+	for _, w := range []int{4, 2, 7, 3} {
+		got, err := r.RunParallel(s, opt, w)
+		if err != nil {
+			t.Fatalf("workers=%d after failed run: %v", w, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("workers=%d: Result differs from sequential run", w)
+		}
+	}
+
+	// Close joins the crew; the Runner stays usable and respawns on demand.
+	r.Close()
+	r.Close() // idempotent
+	got, err := r.RunParallel(s, opt, 2)
+	if err != nil {
+		t.Fatalf("after Close: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("post-Close run: Result differs from sequential run")
+	}
+}
+
+// TestWorkerPoolGoroutineLeak checks both directions of the pool's
+// goroutine accounting: RunParallel on a fresh Runner spawns its workers
+// (which persist, parked, between runs), and Close joins every one of them.
+func TestWorkerPoolGoroutineLeak(t *testing.T) {
+	s := denseScheme{n: 1024} // 4 shards at 4 workers (320-node chunks)
+	opt := slotsim.Options{Slots: 2, Packets: 1, Mode: core.PreRecorded}
+	before := runtime.NumGoroutine()
+	r := slotsim.NewRunner()
+	if _, err := r.RunParallel(s, opt, 4); err != nil {
+		t.Fatal(err)
+	}
+	if during := runtime.NumGoroutine(); during < before+4 {
+		t.Errorf("%d goroutines during pooled runs, want at least %d persistent workers over the base %d", during, 4, before)
+	}
+	if _, err := r.RunParallel(s, opt, 4); err != nil {
+		t.Fatal(err)
+	}
+	if again := runtime.NumGoroutine(); again > before+4 {
+		t.Errorf("%d goroutines after a second run, want the same %d workers reused", again, 4)
+	}
+	r.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("%d goroutines after Close, %d before the pool existed: workers leaked", after, before)
+	}
+}
+
+// goroutineProbe samples the process goroutine count at every slot start.
+type goroutineProbe struct{ samples []int }
+
+func (g *goroutineProbe) SlotStart(core.Slot, int) {
+	g.samples = append(g.samples, runtime.NumGoroutine())
+}
+func (g *goroutineProbe) Transmit(core.Slot, core.Transmission)          {}
+func (g *goroutineProbe) Deliver(core.Slot, core.Transmission, bool)     {}
+func (g *goroutineProbe) Drop(core.Slot, core.Transmission)              {}
+func (g *goroutineProbe) Violation(core.Slot, string, core.Transmission) {}
+func (g *goroutineProbe) SlotEnd(core.Slot)                              {}
+
+// TestParallelSteadyStateGoroutinesFlat asserts zero per-slot goroutine
+// creation: across every slot of a parallel run the goroutine count stays
+// exactly flat — the persistent workers are spawned before the first slot
+// and never again.
+func TestParallelSteadyStateGoroutinesFlat(t *testing.T) {
+	s, opt := shardCase(t, 2000, 4)
+	probe := &goroutineProbe{}
+	opt.Observer = probe
+	r := slotsim.NewRunner()
+	defer r.Close()
+	if _, err := r.RunParallel(s, opt, 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(probe.samples) < 2 {
+		t.Fatalf("probe saw %d slots", len(probe.samples))
+	}
+	lo, hi := probe.samples[0], probe.samples[0]
+	for _, n := range probe.samples {
+		if n < lo {
+			lo = n
+		}
+		if n > hi {
+			hi = n
+		}
+	}
+	if hi != lo {
+		t.Errorf("goroutine count moved between slots (min %d, max %d): the slot loop is creating goroutines", lo, hi)
+	}
+}
+
+// TestShardedSmokeTwoWorkers is the CI benchsmoke hook: one mid-size run
+// through the 2-worker sharded path, checked for fingerprint equality with
+// the sequential engine. Correctness only — no timing — so it passes on a
+// single-CPU container.
+func TestShardedSmokeTwoWorkers(t *testing.T) {
+	s, opt := shardCase(t, 200, 3)
+	_, _, refMet, err := shardRun(s, opt, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, met, err := shardRun(s, opt, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := met.Fingerprint(), refMet.Fingerprint(); got != want {
+		t.Fatalf("2-worker fingerprint %s, sequential %s", got, want)
 	}
 }

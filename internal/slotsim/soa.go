@@ -30,8 +30,9 @@ package slotsim
 //     Each delivery marks its packet's bit in dirtyRows, and the next run
 //     clears exactly the marked rows — one contiguous memclr per packet
 //     that moved, instead of an O(maxPkt·N) wipe. The parallel driver
-//     pre-marks the bitmap single-threaded before forking, since workers
-//     in different shards deliver the same packets.
+//     pre-marks the bitmap single-threaded before dispatching the deliver
+//     phase to its workers, since different shards deliver the same
+//     packets.
 
 import "streamcast/internal/core"
 
