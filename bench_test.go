@@ -155,14 +155,14 @@ func BenchmarkChurn(b *testing.B) {
 	var tab *experiments.Table
 	var err error
 	for i := 0; i < b.N; i++ {
-		tab, err = experiments.Churn(50, 3, 1000, 1)
+		tab, err = experiments.ChurnSurvival(50, 3, 100, []float64{0.5}, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
 	var eager, lazy float64
-	fmt.Sscanf(tab.Rows[0][2], "%f", &eager)
-	fmt.Sscanf(tab.Rows[1][2], "%f", &lazy)
+	fmt.Sscanf(tab.Rows[0][5], "%f", &eager)
+	fmt.Sscanf(tab.Rows[1][5], "%f", &lazy)
 	b.ReportMetric(eager, "eager_swaps_per_op")
 	b.ReportMetric(lazy, "lazy_swaps_per_op")
 }

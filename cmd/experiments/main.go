@@ -45,6 +45,8 @@ func main() {
 	rrNs := []int{100, 1000, 10000}
 	rrTrials := 3
 	churnOps := 2000
+	churnPackets := 200
+	churnRates := []float64{0.25, 0.5, 1}
 	faultsN := 60
 	if *quick {
 		fig4Max, fig4Step = 400, 100
@@ -56,6 +58,8 @@ func main() {
 		rrNs = []int{100, 300}
 		rrTrials = 2
 		churnOps = 300
+		churnPackets = 60
+		churnRates = []float64{0.5}
 		faultsN = 24
 	}
 
@@ -87,7 +91,7 @@ func main() {
 			return experiments.DegreeOptimization(degNs, 8)
 		}},
 		{"churn", func() (*experiments.Table, error) {
-			return experiments.Churn(50, 3, churnOps, 1)
+			return experiments.ChurnSurvival(50, 3, churnPackets, churnRates, 1)
 		}},
 		{"baselines", func() (*experiments.Table, error) {
 			return experiments.Baselines(baseNs)

@@ -49,6 +49,16 @@
 //
 //	streamsim -scheme multitree -n 100 -d 3 -faults chaos.plan
 //	streamsim -scheme multitree -n 100 -d 3 -faults chaos.plan -fault-seed 7 -parallel
+//
+// Live churn (the churn scenario directive): -churn makes joins and leaves
+// a mid-run workload — the topology re-plans at slot barriers while the
+// stream keeps flowing, each operation held to the paper's d²+d swap
+// bound, and the run reports playback SLOs (hiccups, stalls, rebuffer
+// ratio, time to repair) instead of a pre-churn snapshot:
+//
+//	streamsim -scheme multitree -n 100 -d 3 -churn poisson -churn-rate 0.5 -churn-seed 7
+//	streamsim -scheme multitree -n 100 -d 3 -churn flash -churn-rate 2 -churn-slots 10..40 -churn-policy lazy
+//	streamsim -scheme multitree -n 100 -d 3 -churn plan -faults chaos.plan
 package main
 
 import (
@@ -103,6 +113,12 @@ type cli struct {
 	reportOut    string
 	faultsPath   string
 	faultSeed    int64
+	churnKind    string
+	churnRate    float64
+	churnSeed    int64
+	churnMax     int
+	churnPolicy  string
+	churnSlots   string
 }
 
 // newCLI registers every flag on the given set. Defaults mirror the
@@ -141,6 +157,12 @@ func newCLI(fs *flag.FlagSet) *cli {
 	fs.StringVar(&c.reportOut, "report-out", "", "write a JSON run report to this file ('-' for stdout)")
 	fs.StringVar(&c.faultsPath, "faults", "", "replay this deterministic fault plan (see FAULTS.md)")
 	fs.Int64Var(&c.faultSeed, "fault-seed", 0, "override the fault plan's seed (0 = keep the plan's)")
+	fs.StringVar(&c.churnKind, "churn", "", "run live mid-stream churn: plan | poisson | flash | wave")
+	fs.Float64Var(&c.churnRate, "churn-rate", 0, "expected churn ops per slot (generator kinds)")
+	fs.Int64Var(&c.churnSeed, "churn-seed", 0, "churn generator seed (0 = the default)")
+	fs.IntVar(&c.churnMax, "churn-max", 0, "join budget / id-space ceiling (0 = auto)")
+	fs.StringVar(&c.churnPolicy, "churn-policy", "", "repair policy: eager | lazy")
+	fs.StringVar(&c.churnSlots, "churn-slots", "", "churn window lo..hi (lo.. = open-ended)")
 	return c
 }
 
@@ -196,6 +218,27 @@ func (c *cli) scenario() (*spec.Scenario, error) {
 			sc.FaultsFile = c.faultsPath
 		case "fault-seed":
 			sc.FaultSeed = c.faultSeed
+		case "churn":
+			sc.ChurnKind = c.churnKind
+		case "churn-rate":
+			sc.ChurnRate = c.churnRate
+		case "churn-seed":
+			sc.ChurnSeed = c.churnSeed
+		case "churn-max":
+			sc.ChurnMax = c.churnMax
+		case "churn-policy":
+			// eager is the canonical default spelling, stored as empty
+			// exactly as the directive parser stores it.
+			if c.churnPolicy != "eager" {
+				sc.ChurnPolicy = c.churnPolicy
+			}
+		case "churn-slots":
+			lo, hi, err := spec.ParseChurnWindow(c.churnSlots)
+			if err != nil {
+				badFlag = fmt.Errorf("-churn-slots: %v", err)
+				return
+			}
+			sc.ChurnBegin, sc.ChurnEnd = lo, hi
 		default:
 			badFlag = fmt.Errorf("flag -%s has no scenario mapping", f.Name)
 		}
@@ -267,6 +310,9 @@ func printSchemes(w io.Writer) {
 		}
 		if f.Caps.Churn {
 			caps = append(caps, "churn")
+		}
+		if f.Caps.LiveChurn {
+			caps = append(caps, "live-churn")
 		}
 		fmt.Fprintf(w, "%-12s %s\n", f.Name, f.Doc)
 		if len(caps) > 0 {
@@ -356,8 +402,17 @@ func runScenario(sc *spec.Scenario, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	churn := run.ChurnReport(res)
+	if churn != nil {
+		fmt.Fprintf(stderr,
+			"streamsim: live churn: %d ops (%d joins, %d leaves), %d total swaps, worst op %d (bound d²+d = %d)\n",
+			churn.Ops, churn.Joins, churn.Leaves, churn.TotalSwaps, churn.MaxSwaps, churn.SwapBound)
+		fmt.Fprintf(stderr,
+			"streamsim: playback SLO: %d nodes, %d hiccups in %d gaps, max stall %d slots, rebuffer %.4f, repair %d slots\n",
+			churn.NodesMeasured, churn.Hiccups, churn.Gaps, churn.MaxStallSlots, churn.RebufferRatio, churn.TimeToRepairSlots)
+	}
 	report(run, res, stdout)
-	return sk.finish(run.Scheme, opt, res, wk)
+	return sk.finish(run.Scheme, opt, res, wk, churn)
 }
 
 // runOnRuntime executes the scenario on the goroutine message-passing
@@ -485,7 +540,8 @@ func newSinks(metricsOut, traceOut, reportOut string) (*sinks, obs.Observer, err
 }
 
 // finish flushes and writes every requested output for a completed run.
-func (sk *sinks) finish(s core.Scheme, opt slotsim.Options, res *slotsim.Result, workers int) error {
+// churn, when non-nil, becomes the run report's live-churn section.
+func (sk *sinks) finish(s core.Scheme, opt slotsim.Options, res *slotsim.Result, workers int, churn *obs.ChurnSLO) error {
 	if sk.trace != nil {
 		if err := sk.trace.Flush(); err != nil {
 			return err
@@ -504,6 +560,7 @@ func (sk *sinks) finish(s core.Scheme, opt slotsim.Options, res *slotsim.Result,
 	}
 	if sk.reportFile != nil {
 		rep := slotsim.BuildReport(s, opt, res, sk.metrics, workers)
+		rep.Churn = churn
 		if err := rep.WriteJSON(sk.reportFile); err != nil {
 			return err
 		}

@@ -139,6 +139,82 @@ func TestFlagTranslationOnlyExplicit(t *testing.T) {
 	}
 }
 
+// TestChurnFlagScenario: the churn flags translate into the same scenario
+// the churn directive parses to, the two paths print identical reports, and
+// the run report carries the live-churn SLO section.
+func TestChurnFlagScenario(t *testing.T) {
+	fromFlags := translate(t, []string{
+		"-scheme", "multitree", "-n", "20", "-d", "3", "-packets", "18",
+		"-churn", "poisson", "-churn-rate", "0.6", "-churn-seed", "31",
+		"-churn-max", "8", "-churn-policy", "lazy", "-churn-slots", "5..",
+	})
+	want := &spec.Scenario{
+		Scheme: "multitree", Params: map[string]string{"n": "20", "d": "3"}, Packets: 18,
+		ChurnKind: "poisson", ChurnRate: 0.6, ChurnSeed: 31, ChurnMax: 8,
+		ChurnPolicy: "lazy", ChurnBegin: 5,
+	}
+	if !reflect.DeepEqual(fromFlags, want) {
+		t.Fatalf("flag translation: got %+v\nwant %+v", fromFlags, want)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.scn")
+	if err := os.WriteFile(path, []byte(fromFlags.Format()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := spec.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromFlags, fromFile) {
+		t.Fatalf("flag and scenario paths disagree:\nflags: %+v\nfile:  %+v", fromFlags, fromFile)
+	}
+	if !bytes.Equal(capture(t, fromFlags), capture(t, fromFile)) {
+		t.Error("churn stdout differs between flag and scenario paths")
+	}
+
+	// -churn-policy eager is the canonical default: stored empty, like the
+	// directive's policy=eager.
+	sc := translate(t, []string{"-scheme", "multitree", "-churn", "wave",
+		"-churn-rate", "1", "-churn-policy", "eager"})
+	if sc.ChurnPolicy != "" {
+		t.Fatalf("-churn-policy eager stored as %q, want empty", sc.ChurnPolicy)
+	}
+
+	// A malformed window is a flag error, with the shared parser's message.
+	c := newCLI(flag.NewFlagSet("streamsim", flag.ContinueOnError))
+	if err := c.fs.Parse([]string{"-scheme", "multitree", "-churn", "poisson",
+		"-churn-rate", "1", "-churn-slots", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.scenario(); err == nil {
+		t.Error("-churn-slots 7 accepted; want lo..hi diagnostic")
+	}
+
+	// The run report written by -report-out carries the churn section.
+	repPath := filepath.Join(t.TempDir(), "report.json")
+	withReport := *want
+	withReport.ReportOut = repPath
+	capture(t, &withReport)
+	f, err := os.Open(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := obs.ReadReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Churn == nil {
+		t.Fatal("run report has no churn section")
+	}
+	if rep.Churn.Kind != "poisson" || rep.Churn.Ops == 0 || rep.Churn.NodesMeasured == 0 {
+		t.Fatalf("churn section not populated: %+v", rep.Churn)
+	}
+	if rep.Churn.MaxSwaps > rep.Churn.SwapBound {
+		t.Fatalf("report records a bound breach that should have aborted: %+v", rep.Churn)
+	}
+}
+
 // TestRuntimeEngineParity checks the runtime path is reachable from both
 // invocation styles with identical output.
 func TestRuntimeEngineParity(t *testing.T) {

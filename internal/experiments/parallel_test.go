@@ -76,7 +76,7 @@ func runnersUnderTest(t *testing.T) map[string]func() (*Table, error) {
 			return LiveModes([]int{15, 25}, 2)
 		},
 		"churn": func() (*Table, error) {
-			return Churn(20, 2, 40, 7)
+			return ChurnSurvival(20, 2, 30, []float64{0.5}, 7)
 		},
 		"delaydist": func() (*Table, error) {
 			return DelayDistribution([]int{15}, 2)

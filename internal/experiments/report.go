@@ -74,7 +74,9 @@ func simulateRun(run *spec.Run) (*slotsim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sink(slotsim.BuildReport(run.Scheme, opt, res, m, 0))
+	rep := slotsim.BuildReport(run.Scheme, opt, res, m, 0)
+	rep.Churn = run.ChurnReport(res)
+	sink(rep)
 	return res, nil
 }
 

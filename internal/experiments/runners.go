@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"streamcast/internal/analysis"
 	"streamcast/internal/baseline"
@@ -307,50 +306,49 @@ func DegreeOptimization(ns []int, maxD int) (*Table, error) {
 	return t, nil
 }
 
-// Churn measures the appendix dynamics: average and maximum swap counts per
-// operation over a random add/delete workload, for the eager and lazy
-// variants.
-func Churn(n, d, ops int, seed int64) (*Table, error) {
+// ChurnSurvival measures churn as a live, mid-run workload (replacing the
+// old offline swap-count sweep): for the eager and lazy repair policies
+// across sustained poisson churn rates, the stream keeps flowing while the
+// topology re-plans at slot barriers, and each row records what the
+// operations cost (swaps against the appendix d²+d bound) next to what
+// playback quality the surviving members saw (hiccups, distinct stalls,
+// rebuffer ratio, time to repair). Every row is a churn-directive Scenario,
+// so the sweep exercises exactly what `streamsim -churn` runs.
+func ChurnSurvival(n, d, packets int, rates []float64, seed int64) (*Table, error) {
 	t := &Table{
 		ID:    "churn",
-		Title: fmt.Sprintf("node churn over %d ops, start N=%d d=%d", ops, n, d),
+		Title: fmt.Sprintf("live churn survival, N=%d d=%d over %d packets", n, d, packets),
 		Columns: []string{
-			"variant", "total swaps", "avg swaps/op", "max swaps/op", "max affected", "final N",
+			"policy", "rate", "ops", "joins", "leaves",
+			"avg swaps/op", "max swaps/op", "bound d²+d",
+			"hiccups", "gaps", "max stall", "rebuffer", "repair slots",
 		},
 	}
-	groups, err := forEachRow(2, func(v int) ([][]interface{}, error) {
-		lazy := v == 1
-		dy, err := multitree.NewDynamic(n, d, lazy)
+	policies := []string{"", "lazy"}
+	groups, err := forEachRow(len(policies)*len(rates), func(i int) ([][]interface{}, error) {
+		policy := policies[i/len(rates)]
+		rate := rates[i%len(rates)]
+		sc := spec.MultiTreeScenario(n, d, multitree.Greedy, core.PreRecorded)
+		sc.Packets = packets
+		sc.ChurnKind = "poisson"
+		sc.ChurnRate = rate
+		sc.ChurnSeed = seed
+		sc.ChurnPolicy = policy
+		// Let the initial construction settle before the first op lands.
+		sc.ChurnBegin = 5
+		run, res, err := specResult(sc, false)
 		if err != nil {
 			return nil, err
 		}
-		rng := rand.New(rand.NewSource(seed))
-		maxSwaps, maxAffected, next := 0, 0, 0
-		for i := 0; i < ops; i++ {
-			var st multitree.OpStats
-			if rng.Intn(2) == 0 || dy.N() <= 2 {
-				next++
-				st, err = dy.Add(fmt.Sprintf("churn-%d", next))
-			} else {
-				names := dy.Names()
-				st, err = dy.Delete(names[rng.Intn(len(names))])
-			}
-			if err != nil {
-				return nil, err
-			}
-			if st.Swaps > maxSwaps {
-				maxSwaps = st.Swaps
-			}
-			if st.Affected > maxAffected {
-				maxAffected = st.Affected
-			}
-		}
+		churn := run.ChurnReport(res)
 		name := "eager"
-		if lazy {
+		if policy == "lazy" {
 			name = "lazy"
 		}
-		return [][]interface{}{{name, dy.TotalSwaps(), float64(dy.TotalSwaps()) / float64(ops),
-			maxSwaps, maxAffected, dy.N()}}, nil
+		return [][]interface{}{{name, rate, churn.Ops, churn.Joins, churn.Leaves,
+			churn.AvgSwaps, churn.MaxSwaps, churn.SwapBound,
+			churn.Hiccups, churn.Gaps, churn.MaxStallSlots,
+			fmt.Sprintf("%.4f", churn.RebufferRatio), churn.TimeToRepairSlots}}, nil
 	})
 	if err != nil {
 		return nil, err

@@ -141,18 +141,38 @@ func TestDegreeOptimizationResult(t *testing.T) {
 	}
 }
 
-// TestChurnRunner checks the eager/lazy comparison comes out as predicted.
-func TestChurnRunner(t *testing.T) {
-	tab, err := Churn(30, 3, 400, 5)
+// TestChurnSurvivalRunner checks the live-churn sweep's shape and
+// invariants: one row per policy × rate, real mid-run work on every row
+// (ops applied, members measured), and every worst-case op within the
+// appendix d²+d bound — a breach would have aborted the run entirely.
+func TestChurnSurvivalRunner(t *testing.T) {
+	rates := []float64{0.3, 0.8}
+	tab, err := ChurnSurvival(30, 3, 40, rates, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 2 {
-		t.Fatalf("rows %d", len(tab.Rows))
+	if len(tab.Rows) != 2*len(rates) {
+		t.Fatalf("rows %d, want %d", len(tab.Rows), 2*len(rates))
 	}
-	eager, lazy := atoi(t, tab.Rows[0][1]), atoi(t, tab.Rows[1][1])
-	if lazy > eager {
-		t.Errorf("lazy swaps %d > eager %d", lazy, eager)
+	for _, r := range tab.Rows {
+		if r[0] != "eager" && r[0] != "lazy" {
+			t.Fatalf("policy column %q", r[0])
+		}
+		if ops := atoi(t, r[2]); ops == 0 {
+			t.Errorf("%s rate=%s: no ops applied; the row is vacuous", r[0], r[1])
+		}
+		maxSwaps, bound := atoi(t, r[6]), atoi(t, r[7])
+		if maxSwaps > bound {
+			t.Errorf("%s rate=%s: max swaps %d over the bound %d", r[0], r[1], maxSwaps, bound)
+		}
+	}
+	// The two policies see the same seeded workload: identical op totals
+	// per rate, so the SLO columns are an apples-to-apples comparison.
+	for i := range rates {
+		eager, lazy := tab.Rows[i], tab.Rows[len(rates)+i]
+		if eager[2] != lazy[2] || eager[3] != lazy[3] || eager[4] != lazy[4] {
+			t.Errorf("rate=%s: op columns differ between policies: %v vs %v", eager[1], eager[2:5], lazy[2:5])
+		}
 	}
 }
 

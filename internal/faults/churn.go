@@ -23,6 +23,13 @@ type ChurnOp struct {
 // an error, making the bound a hard property of every replayed plan, not a
 // statistical observation.
 //
+// Deprecated: ApplyChurn rewrites the topology before the run starts, so
+// the simulated stream never actually flows through a membership change.
+// Live, mid-run churn — the same events applied between slots while the
+// engine streams, plus stochastic generators — is provided by LiveChurn
+// (see live.go and the `churn` scenario directive); this replay path
+// remains only for static pre-churned topology construction.
+//
 // A leave naming the wildcard "any" departs a member picked by a seeded
 // hash over the event index from the current live set, so wildcard plans
 // stay deterministic. The family is never churned below 2 members: a
@@ -66,14 +73,26 @@ func ApplyChurn(p *Plan, dy *multitree.Dynamic) ([]ChurnOp, error) {
 // how many members the operations perturbed.
 type ChurnSummary struct {
 	Ops, TotalSwaps, MaxSwaps, Affected int
+	// AvgSwaps is TotalSwaps/Ops, or 0 when no ops were applied.
+	AvgSwaps float64
 	// Bound is the per-operation appendix bound d²+d the replay was
-	// checked against.
+	// checked against; 0 when the degree is not positive (no meaningful
+	// bound exists).
 	Bound int
 }
 
-// Summarize folds replayed ops into a ChurnSummary.
+// Summarize folds replayed ops into a ChurnSummary. An empty op list and a
+// non-positive degree are both well-defined: the former yields all-zero
+// aggregates, the latter a zero Bound (d ≤ 0 builds no family, so d²+d
+// would be a bogus number rather than the appendix bound).
 func Summarize(ops []ChurnOp, d int) ChurnSummary {
-	s := ChurnSummary{Ops: len(ops), Bound: multitree.SwapBound(d)}
+	s := ChurnSummary{Ops: len(ops)}
+	if d > 0 {
+		s.Bound = multitree.SwapBound(d)
+	}
+	if len(ops) == 0 {
+		return s
+	}
 	for _, op := range ops {
 		s.TotalSwaps += op.Stats.Swaps
 		s.Affected += op.Stats.Affected
@@ -81,5 +100,6 @@ func Summarize(ops []ChurnOp, d int) ChurnSummary {
 			s.MaxSwaps = op.Stats.Swaps
 		}
 	}
+	s.AvgSwaps = float64(s.TotalSwaps) / float64(len(ops))
 	return s
 }

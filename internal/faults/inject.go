@@ -14,6 +14,9 @@ const (
 	spaceLoss int64 = iota + 1
 	spaceDelay
 	spaceChurnPick
+	spaceChurnCount
+	spaceChurnKind
+	spaceChurnLeave
 )
 
 // Injector is the seeded, plan-driven fault source. It implements

@@ -7,20 +7,24 @@ import (
 )
 
 // phaseNames maps //phase: directive names to their position in the engine's
-// documented per-slot order. Phase 0 means "no phase constraint yet".
+// documented per-slot order. Phase 0 means "no phase constraint yet". The
+// churn phase is the single-threaded swap window at the barrier entering a
+// slot: topology ops apply strictly before that slot's validate, so a churn
+// call after any other phase is a protocol violation.
 var phaseNames = map[string]int{
-	"validate": 1,
-	"deliver":  2,
-	"merge":    3,
+	"churn":    1,
+	"validate": 2,
+	"deliver":  3,
+	"merge":    4,
 }
 
 // phaseLabel is the inverse of phaseNames, for diagnostics.
-var phaseLabel = map[int]string{1: "validate", 2: "deliver", 3: "merge"}
+var phaseLabel = map[int]string{1: "churn", 2: "validate", 3: "deliver", 4: "merge"}
 
 // BarrierPhase machine-checks the slot-barrier protocol of internal/slotsim.
-// Engine functions carry //phase:validate, //phase:deliver or //phase:merge
-// directives in their doc comments; within any one function body the
-// analyzer proves that
+// Engine functions carry //phase:churn, //phase:validate, //phase:deliver or
+// //phase:merge directives in their doc comments; within any one function
+// body the analyzer proves that
 //
 //   - phase functions are invoked in non-decreasing documented order along
 //     every control-flow path (branches are checked independently, a path
@@ -52,7 +56,7 @@ var phaseLabel = map[int]string{1: "validate", 2: "deliver", 3: "merge"}
 var BarrierPhase = &Analyzer{
 	Name: "barrierphase",
 	Doc: "slotsim barrier phases (//phase: directives) must run in " +
-		"validate→deliver→merge order on every path, never inside goroutine " +
+		"churn→validate→deliver→merge order on every path, never inside goroutine " +
 		"closures, and spawned workers must be joined with WaitGroup.Wait " +
 		"before any other effectful call; persistent pool workers " +
 		"(//phase:worker) may only be spawned by the //phase:spawn function, " +
@@ -155,7 +159,7 @@ func collectPhaseDirectives(pass *Pass) *phaseInfo {
 						continue
 					}
 					pass.Reportf(c.Pos(),
-						"unknown barrier phase %q; the engine's phases are validate, deliver, merge, and the pool directives are spawn, worker, shutdown", name)
+						"unknown barrier phase %q; the engine's phases are churn, validate, deliver, merge, and the pool directives are spawn, worker, shutdown", name)
 				}
 			}
 		}
@@ -207,7 +211,7 @@ func (pc *phaseChecker) scanCalls(n ast.Node, cur int) int {
 		}
 		if p < cur {
 			pc.pass.Reportf(call.Pos(),
-				"phase %s function called after phase %s; the slot barrier runs validate→deliver→merge",
+				"phase %s function called after phase %s; the slot barrier runs churn→validate→deliver→merge",
 				phaseLabel[p], phaseLabel[cur])
 			return true
 		}

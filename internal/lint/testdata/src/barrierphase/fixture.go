@@ -35,6 +35,11 @@ func (e *eng) deliverTx(txs []int) error {
 //phase:merge
 func (e *eng) merge() {}
 
+// churnOps applies the topology swap window at the barrier entering a slot.
+//
+//phase:churn
+func (e *eng) churnOps() {}
+
 // bumpTick writes engine state; never legal with workers in flight.
 func (e *eng) bumpTick() { e.tick++ }
 
@@ -89,6 +94,53 @@ func (e *eng) badOrder(txs []int) error {
 func (e *eng) badMergeFirst(txs []int) error {
 	e.merge()
 	return e.deliverTx(txs) // want `phase deliver function called after phase merge`
+}
+
+// goodChurnStep runs the swap window strictly before the slot's phases,
+// each loop iteration a fresh barrier.
+func (e *eng) goodChurnStep(slots int, txs []int) error {
+	for t := 0; t < slots; t++ {
+		e.churnOps()
+		if err := e.validate(txs); err != nil {
+			return err
+		}
+		if err := e.deliverTx(txs); err != nil {
+			return err
+		}
+		e.merge()
+	}
+	return nil
+}
+
+// badChurnAfterValidate re-opens the swap window mid-slot: a topology op
+// here would race the schedule the slot already validated against.
+func (e *eng) badChurnAfterValidate(txs []int) error {
+	if err := e.validate(txs); err != nil {
+		return err
+	}
+	e.churnOps() // want `phase churn function called after phase validate`
+	return e.deliverTx(txs)
+}
+
+// badChurnAfterMerge swaps topology after the slot committed.
+func (e *eng) badChurnAfterMerge(txs []int) error {
+	if err := e.deliverTx(txs); err != nil {
+		return err
+	}
+	e.merge()
+	e.churnOps() // want `phase churn function called after phase merge`
+	return nil
+}
+
+// badChurnInClosure swaps topology off the driver goroutine.
+func (e *eng) badChurnInClosure() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e.churnOps() // want `phase churn function called inside a goroutine closure`
+	}()
+	wg.Wait()
 }
 
 // badClosurePhase runs a barrier phase on a worker goroutine.

@@ -45,7 +45,7 @@ func NewScheme(m *MultiTree, mode core.StreamMode) *Scheme {
 	for k := 0; k < m.D; k++ {
 		s.firstRecv[k] = make([]core.Slot, m.NP)
 		for p := 1; p <= m.NP; p++ {
-			s.firstRecv[k][p-1] = s.firstRecvSlot(k, p)
+			s.firstRecv[k][p-1] = firstRecvSlot(mode, m.D, k, p)
 			if !m.IsDummy(m.Trees[k][p-1]) && s.firstRecv[k][p-1] > s.steady {
 				s.steady = s.firstRecv[k][p-1]
 			}
@@ -74,22 +74,24 @@ func (s *Scheme) SteadyState() core.Slot { return s.steady }
 //     slot k+m·d, when a live source has just produced it.
 //   - LivePreBuffered: d−1, the paper's "accumulate d packets first"
 //     variant; a uniform d-slot shift for all trees.
-func (s *Scheme) virtualSourceSlot(k int) core.Slot {
-	switch s.Mode {
+func virtualSourceSlot(mode core.StreamMode, d, k int) core.Slot {
+	switch mode {
 	case core.Live:
 		return core.Slot(k) - 1
 	case core.LivePreBuffered:
-		return core.Slot(s.Tree.D) - 1
+		return core.Slot(d) - 1
 	default:
 		return -1
 	}
 }
 
 // firstRecvSlot computes the slot at which position p receives the round-0
-// packet of tree k under the scheme's mode.
-func (s *Scheme) firstRecvSlot(k, p int) core.Slot {
-	d := s.Tree.D
-	recv := s.virtualSourceSlot(k)
+// packet of tree k under the given mode. The result is purely positional —
+// it depends on (mode, d, k, p) and never on which member occupies the
+// position — which is what lets the live (churned) scheme keep a stable
+// schedule across membership swaps.
+func firstRecvSlot(mode core.StreamMode, d, k, p int) core.Slot {
+	recv := virtualSourceSlot(mode, d, k)
 	// Walk root-to-leaf over the ancestor chain of p.
 	chain := make([]int, 0, 8)
 	for q := p; q > 0; q = ParentPos(q, d) {

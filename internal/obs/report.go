@@ -23,6 +23,43 @@ type RunReport struct {
 	Latency LatencyReport `json:"delivery_latency_slots"`
 	Series  Series        `json:"series"`
 	PerNode PerNode       `json:"per_node"`
+	// Churn is the live-churn section: the applied topology operations and
+	// the playback SLOs of the members still live at the end of the run.
+	// Nil for runs without a churn directive.
+	Churn *ChurnSLO `json:"churn,omitempty"`
+}
+
+// ChurnSLO summarizes a live-churn run for the report: what the churn
+// source did to the topology (op and swap counts against the d²+d
+// per-operation bound) and what playback quality the surviving members
+// saw (hiccups, distinct interruptions, worst stall, rebuffer ratio, and
+// the time the system took to absorb the churn). The CLI assembles it
+// from the run's churn source and slotsim.PlaybackSLO — this package
+// only defines the serialized shape.
+type ChurnSLO struct {
+	Kind   string `json:"kind"`
+	Ops    int    `json:"ops"`
+	Joins  int    `json:"joins"`
+	Leaves int    `json:"leaves"`
+	// FirstChurnSlot is the slot of the first applied op, -1 if none fired.
+	FirstChurnSlot int     `json:"first_churn_slot"`
+	TotalSwaps     int     `json:"total_swaps"`
+	MaxSwaps       int     `json:"max_swaps"`
+	AvgSwaps       float64 `json:"avg_swaps"`
+	// SwapBound is the per-operation d²+d ceiling the run was held to.
+	SwapBound int `json:"swap_bound"`
+	// NodesMeasured counts the members live at run end whose playback was
+	// scored; ExpectedPackets is the total window packets owed across them.
+	NodesMeasured   int `json:"nodes_measured"`
+	ExpectedPackets int `json:"expected_packets"`
+	Hiccups         int `json:"hiccups"`
+	Gaps            int `json:"gaps"`
+	MaxStallSlots   int `json:"max_stall_slots"`
+	// RebufferRatio is Hiccups/ExpectedPackets: playback time spent stalled.
+	RebufferRatio float64 `json:"rebuffer_ratio"`
+	// TimeToRepairSlots spans the first churn op to the end of the last
+	// interruption, worst over all measured nodes.
+	TimeToRepairSlots int `json:"time_to_repair_slots"`
 }
 
 // ReportOptions records the engine configuration of the run.

@@ -72,6 +72,16 @@ type Options struct {
 	// violation — the loss-cascade behaviour of a real protocol under
 	// failure injection. Only sensible together with Drop.
 	SkipUnavailable bool
+	// Churn, if non-nil, makes the topology a live workload: the source is
+	// consulted single-threaded at every slot barrier (before validate, by
+	// both Run and RunParallel) and may apply join/leave ops to the scheme,
+	// which must implement core.DynamicScheme. The engine pre-sizes its
+	// struct-of-arrays state to Churn.MaxNodes() so the shard plan and the
+	// arrival-matrix stride stay fixed across topology epochs, and requires
+	// AllowIncomplete + SkipUnavailable (repair gaps cascade as measurable
+	// losses). See internal/faults for the seeded, plan- and
+	// generator-driven implementation.
+	Churn ChurnSource
 	// ExtraSources marks additional node IDs that behave like sources:
 	// they may transmit packets they never received (used by the cluster
 	// simulator for super nodes is NOT needed — super nodes receive the
@@ -196,7 +206,10 @@ func Run(s core.Scheme, opt Options) (*Result, error) {
 type engine struct {
 	scheme core.Scheme
 	opt    Options
-	n      int
+	// dyn is the run's dynamic scheme view, set only on the churn path; the
+	// churnStep barrier applies membership ops through it.
+	dyn core.DynamicScheme
+	n   int
 	maxPkt core.Packet // tracking bound for arrivals (window + slack)
 	stride int         // row stride of the flat arrival matrix (= n+1)
 	// arr is the packed arrival matrix, packet-major: arr[p·stride+id] holds
@@ -253,6 +266,14 @@ func newEngine(s core.Scheme, opt Options, sc *scratch) (*engine, error) {
 	n := s.NumReceivers()
 	if n < 1 {
 		return nil, fmt.Errorf("slotsim: scheme has %d receivers", n)
+	}
+	if opt.Churn != nil {
+		// Pre-size every per-node array (and hence the shard plan) to the
+		// largest id space churn may create, so joins never remap mid-run.
+		// Ids beyond the initial population stay silent until assigned.
+		if m := opt.Churn.MaxNodes(); m > n {
+			n = m
+		}
 	}
 	srcCap := s.SourceCapacity()
 	// Track arrivals for every packet the source could emit in the

@@ -94,6 +94,9 @@ func (r *Runner) Close() {
 // first when the scheme is periodic and the horizon makes it worthwhile.
 // The semantics and the Result are identical to the uncompiled path.
 func (r *Runner) Run(s core.Scheme, opt Options) (*Result, error) {
+	if opt.Churn != nil {
+		return r.runChurn(s, opt, false, 0)
+	}
 	s = r.prepared(s, opt.Slots)
 	e, err := newEngine(s, opt, &r.sc)
 	if err != nil {
@@ -111,6 +114,9 @@ func (r *Runner) Run(s core.Scheme, opt Options) (*Result, error) {
 // package-level RunParallel for the sharding contract). workers <= 0
 // selects GOMAXPROCS.
 func (r *Runner) RunParallel(s core.Scheme, opt Options, workers int) (*Result, error) {
+	if opt.Churn != nil {
+		return r.runChurn(s, opt, true, workers)
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -135,6 +141,13 @@ func (r *Runner) RunParallel(s core.Scheme, opt Options, workers int) (*Result, 
 // caching outcomes (including failures) per scheme identity.
 func (r *Runner) prepared(s core.Scheme, horizon core.Slot) core.Scheme {
 	if _, ok := s.(*core.CompiledScheme); ok {
+		return s
+	}
+	if _, dyn := s.(core.DynamicScheme); dyn {
+		// Never cache (or serve a cached snapshot of) a scheme whose
+		// topology can mutate: an identity-keyed entry compiled at one epoch
+		// would silently replay stale slots at a later one. The churn path
+		// compiles per epoch instead.
 		return s
 	}
 	t := reflect.TypeOf(s)

@@ -211,6 +211,83 @@ func TestRunnerReuse(t *testing.T) {
 	}
 }
 
+// TestRunnerReuseAcrossSizes reuses one Runner across runs of very different
+// node counts, on both engines: growing then shrinking the node count must
+// neither corrupt results (stale capacity tables, dirty arrival rows, shard
+// plans sized for the other run) nor cost allocations beyond each run's own
+// fixed overhead once the scratch has grown to the larger size.
+func TestRunnerReuseAcrossSizes(t *testing.T) {
+	small, optS := multitreeCase(t, 10, 2, core.PreRecorded)
+	big, optB := multitreeCase(t, 400, 4, core.PreRecorded)
+
+	// Fresh-Runner references for both sizes.
+	wantS, err := slotsim.Run(small, optS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := slotsim.Run(big, optB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := slotsim.NewRunner()
+	defer r.Close()
+	for i := 0; i < 3; i++ {
+		for _, parallel := range []bool{false, true} {
+			var gotS, gotB *slotsim.Result
+			var err error
+			if parallel {
+				gotS, err = r.RunParallel(small, optS, 3)
+			} else {
+				gotS, err = r.Run(small, optS)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parallel {
+				gotB, err = r.RunParallel(big, optB, 3)
+			} else {
+				gotB, err = r.Run(big, optB)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(wantS, gotS) {
+				t.Fatalf("round %d (parallel=%v): small Result drifted after a large run shared the scratch", i, parallel)
+			}
+			if !reflect.DeepEqual(wantB, gotB) {
+				t.Fatalf("round %d (parallel=%v): large Result drifted after a small run shared the scratch", i, parallel)
+			}
+		}
+	}
+
+	// Alloc differential: with the scratch warmed to the larger size,
+	// alternating sizes must cost exactly what the two runs cost alone — a
+	// per-run regrow would show up as extra allocations in the pair.
+	soloS := testing.AllocsPerRun(5, func() {
+		if _, err := r.Run(small, optS); err != nil {
+			t.Fatal(err)
+		}
+	})
+	soloB := testing.AllocsPerRun(5, func() {
+		if _, err := r.Run(big, optB); err != nil {
+			t.Fatal(err)
+		}
+	})
+	pair := testing.AllocsPerRun(5, func() {
+		if _, err := r.Run(small, optS); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Run(big, optB); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if pair > soloS+soloB {
+		t.Errorf("alternating node counts costs %.0f allocations, the runs alone %.0f+%.0f: scratch is re-grown per run",
+			pair, soloS, soloB)
+	}
+}
+
 // TestCompiledSchemeTooShortHorizon checks the compile gate: a horizon too
 // short to amortize compilation still runs (uncompiled) and matches the
 // reference.

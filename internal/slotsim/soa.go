@@ -156,6 +156,28 @@ func (r *txRing) drain(t core.Slot, dst []core.Transmission) []core.Transmission
 	return dst
 }
 
+// purgeTo discards every pending in-flight transmission addressed to id.
+// Used by the churn path when a node id is reassigned to a joining member:
+// packets that were in flight to the previous occupant must not arrive at
+// the new one. Bucket order is preserved for the surviving entries.
+func (r *txRing) purgeTo(id core.NodeID) {
+	for i, b := range r.buckets {
+		if r.slot[i] < 0 || len(b) == 0 {
+			continue
+		}
+		kept := b[:0]
+		for _, tx := range b {
+			if tx.To != id {
+				kept = append(kept, tx)
+			}
+		}
+		r.buckets[i] = kept
+		if len(kept) == 0 {
+			r.slot[i] = -1
+		}
+	}
+}
+
 // grownInt32s returns s resized to n, reusing its backing array when large
 // enough. Contents are unspecified; callers reset what they read.
 func grownInt32s(s []int32, n int) []int32 {

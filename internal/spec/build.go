@@ -6,6 +6,7 @@ import (
 	"streamcast/internal/check"
 	"streamcast/internal/core"
 	"streamcast/internal/faults"
+	"streamcast/internal/obs"
 	"streamcast/internal/runtime"
 	"streamcast/internal/slotsim"
 )
@@ -36,6 +37,13 @@ type Run struct {
 	Plan *faults.Plan
 	// Churn summarizes replayed fault-plan churn; nil without churn.
 	Churn *faults.ChurnSummary
+	// Live is the run's mid-run churn source; nil without a churn
+	// directive. After Execute it holds the applied op log, the membership
+	// windows (for slotsim.PlaybackSLO), and the first churn slot.
+	Live *faults.LiveChurn
+	// executed guards the single-shot property of live-churn runs: the
+	// churn source consumes its op log, so one Run executes at most once.
+	executed bool
 }
 
 // Build resolves a scenario through the registry into a Run. It validates
@@ -89,7 +97,16 @@ func BuildWithPlan(sc *Scenario, plan *faults.Plan) (*Run, error) {
 		packets = f.defaultPackets(v)
 	}
 
-	out, err := f.build(buildInput{Values: v, Mode: mode, Packets: packets, Plan: plan})
+	var churn *churnSpec
+	if sc.ChurnKind != "" {
+		churn = &churnSpec{
+			Kind: sc.ChurnKind, Rate: sc.ChurnRate, Seed: sc.ChurnSeed,
+			Lazy: sc.ChurnPolicy == "lazy", Max: sc.ChurnMax,
+			Begin: core.Slot(sc.ChurnBegin), End: core.Slot(sc.ChurnEnd),
+		}
+	}
+
+	out, err := f.build(buildInput{Values: v, Mode: mode, Packets: packets, Plan: plan, Churn: churn})
 	if err != nil {
 		return nil, fmt.Errorf("spec: scheme %s: %w", sc.Scheme, err)
 	}
@@ -110,6 +127,7 @@ func BuildWithPlan(sc *Scenario, plan *faults.Plan) (*Run, error) {
 		Scheme:   out.Scheme,
 		Plan:     plan,
 		Churn:    out.Churn,
+		Live:     out.Live,
 	}
 	if plan != nil {
 		in, err := faults.NewInjector(plan)
@@ -121,7 +139,7 @@ func BuildWithPlan(sc *Scenario, plan *faults.Plan) (*Run, error) {
 	}
 	run.Opt = opt
 
-	if f.Caps.StaticCheck {
+	if f.Caps.StaticCheck && out.Live == nil {
 		var chkOpt check.Options
 		if out.MkCheck != nil {
 			chkOpt = out.MkCheck(packets)
@@ -153,10 +171,51 @@ func (r *Run) Execute() (*slotsim.Result, error) {
 	if r.Scenario.Engine == "runtime" {
 		return nil, fmt.Errorf("spec: scenario selects the runtime engine; use ExecuteRuntime")
 	}
+	if r.Live != nil {
+		if r.executed {
+			return nil, fmt.Errorf("spec: a live-churn run is single-shot (the churn source and topology were consumed); Build the scenario again")
+		}
+		r.executed = true
+	}
 	if r.Scenario.Parallel {
 		return slotsim.RunParallel(r.Scheme, r.Opt, r.Scenario.Workers)
 	}
 	return slotsim.Run(r.Scheme, r.Opt)
+}
+
+// churnProbe is how many leading expected packets a node samples before
+// committing to its playback start delay in the SLO model — the moral
+// equivalent of a player's short initial buffering phase.
+const churnProbe = 3
+
+// ChurnReport assembles the report's live-churn section from an executed
+// run: the churn source's op/swap summary plus the playback SLOs of the
+// members still live at the end. Nil for runs without live churn — callers
+// can assign it to a report's Churn field unconditionally.
+func (r *Run) ChurnReport(res *slotsim.Result) *obs.ChurnSLO {
+	if r.Live == nil || res == nil {
+		return nil
+	}
+	sum := r.Live.Summary()
+	slo := slotsim.PlaybackSLO(res, r.Live.Membership(), churnProbe, r.Live.FirstChurnSlot())
+	return &obs.ChurnSLO{
+		Kind:              r.Scenario.ChurnKind,
+		Ops:               sum.Ops,
+		Joins:             r.Live.Joins(),
+		Leaves:            r.Live.Leaves(),
+		FirstChurnSlot:    int(r.Live.FirstChurnSlot()),
+		TotalSwaps:        sum.TotalSwaps,
+		MaxSwaps:          sum.MaxSwaps,
+		AvgSwaps:          sum.AvgSwaps,
+		SwapBound:         sum.Bound,
+		NodesMeasured:     slo.Nodes,
+		ExpectedPackets:   slo.Expected,
+		Hiccups:           slo.Hiccups,
+		Gaps:              slo.Gaps,
+		MaxStallSlots:     int(slo.MaxStall),
+		RebufferRatio:     slo.RebufferRatio,
+		TimeToRepairSlots: int(slo.TimeToRepair),
+	}
 }
 
 // RuntimeOptions derives the goroutine-runtime options for the run,

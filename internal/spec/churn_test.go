@@ -1,0 +1,227 @@
+package spec
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"streamcast/internal/faults"
+	"streamcast/internal/obs"
+	"streamcast/internal/slotsim"
+)
+
+// TestChurnDirectiveRoundTrip: the churn directive parses into the scenario
+// fields and survives the canonical Format/Parse round trip.
+func TestChurnDirectiveRoundTrip(t *testing.T) {
+	src := "scheme multitree\nparam d=3 n=30\nchurn kind=poisson rate=0.5 seed=11 max=20 policy=lazy slots=10..60\n"
+	sc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Scenario{
+		Scheme: "multitree", Params: map[string]string{"n": "30", "d": "3"},
+		ChurnKind: "poisson", ChurnRate: 0.5, ChurnSeed: 11, ChurnMax: 20,
+		ChurnPolicy: "lazy", ChurnBegin: 10, ChurnEnd: 60,
+	}
+	if !reflect.DeepEqual(*sc, want) {
+		t.Fatalf("parsed %+v\nwant %+v", *sc, want)
+	}
+	back, err := Parse(sc.Format())
+	if err != nil {
+		t.Fatalf("canonical form rejected: %v\n%s", err, sc.Format())
+	}
+	if !reflect.DeepEqual(back, sc) {
+		t.Fatalf("round trip changed the scenario:\n got %+v\nwant %+v", back, sc)
+	}
+
+	// policy=eager is the canonical default: parsed to the empty policy and
+	// omitted from the canonical form.
+	sc2, err := Parse("scheme multitree\nchurn kind=wave rate=2 policy=eager slots=3..\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc2.ChurnPolicy != "" {
+		t.Fatalf("policy=eager stored as %q, want empty", sc2.ChurnPolicy)
+	}
+	if strings.Contains(sc2.Format(), "policy") {
+		t.Fatalf("canonical form spells the default policy: %q", sc2.Format())
+	}
+	if !strings.Contains(sc2.Format(), "slots=3..") {
+		t.Fatalf("open window lost: %q", sc2.Format())
+	}
+}
+
+// TestChurnDirectiveDiagnostics: malformed churn directives and invalid
+// churn scenarios are rejected with precise messages.
+func TestChurnDirectiveDiagnostics(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"scheme multitree\nchurn rate=1\n", "missing kind"},
+		{"scheme multitree\nchurn kind=burst\n", "unknown kind"},
+		{"scheme multitree\nchurn kind=poisson rate=zero\n", "not a positive finite number"},
+		{"scheme multitree\nchurn kind=poisson rate=-1\n", "not a positive finite number"},
+		{"scheme multitree\nchurn kind=poisson rate=Inf\n", "not a positive finite number"},
+		{"scheme multitree\nchurn kind=poisson rate=1 seed=0\n", "non-zero integer"},
+		{"scheme multitree\nchurn kind=poisson rate=1 max=0\n", "positive integer"},
+		{"scheme multitree\nchurn kind=poisson rate=1 policy=maybe\n", "not eager or lazy"},
+		{"scheme multitree\nchurn kind=poisson rate=1 slots=7\n", "not lo..hi"},
+		{"scheme multitree\nchurn kind=poisson rate=1 slots=9..3\n", "at or after"},
+		{"scheme multitree\nchurn kind=poisson rate=1 burst=2\n", "unknown argument"},
+		{"scheme multitree\nchurn kind=poisson rate=1\nchurn kind=wave rate=1\n", "duplicate churn"},
+		{"scheme multitree\nchurn kind=poisson\n", "needs rate"},
+		{"scheme multitree\nchurn kind=flash rate=1\n", "bounded slots window"},
+		{"scheme multitree\nchurn kind=plan rate=1\nfaults file=x.plan\n", "rate would be ignored"},
+		{"scheme multitree\nchurn kind=plan slots=1..5\nfaults file=x.plan\n", "slots window would be ignored"},
+		{"scheme hypercube\nchurn kind=poisson rate=1\n", "cannot run live churn"},
+		{"scheme multitree\nparam construction=structured\nchurn kind=poisson rate=1\n", "cannot churn"},
+		{"scheme multitree\nchurn kind=poisson rate=1\ncheck\n", "drop check"},
+		{"scheme multitree\nchurn kind=poisson rate=1\nengine runtime\n", "slotsim engine"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.src); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: got %v, want %q", tc.src, err, tc.want)
+		}
+	}
+
+	// Churn fields without a kind are rejected by Validate (programmatic
+	// scenarios cannot smuggle ignored parameters).
+	sc := &Scenario{Scheme: "multitree", ChurnRate: 1}
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "without a churn kind") {
+		t.Errorf("rate without kind: got %v", err)
+	}
+}
+
+// churnScenario builds a fresh live-churn scenario (live-churn runs are
+// single-shot, so every execution needs its own Build).
+func churnScenario(t *testing.T, policy string, parallel bool, workers int) *Run {
+	t.Helper()
+	sc, err := Parse("scheme multitree\nparam d=3 n=20\npackets 18\nchurn kind=poisson rate=0.6 seed=31 max=8 slots=5..\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.ChurnPolicy = policy
+	sc.Parallel = parallel
+	sc.Workers = workers
+	run, err := Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// TestChurnScenarioParity is the spec-level acceptance case: a seeded
+// scenario with mid-run joins and leaves is bit-identical — Results,
+// observer event streams, metric fingerprints, op logs — between the
+// sequential engine and the sharded engine at workers 1, 2, 4, and 7, for
+// both repair policies. The d²+d swap bound is enforced per op during the
+// run (a breach would have aborted) and double-checked on the summary.
+func TestChurnScenarioParity(t *testing.T) {
+	for _, policy := range []string{"", "lazy"} {
+		exec := func(parallel bool, workers int) (*slotsim.Result, *obs.Recorder, *obs.Metrics, *faults.LiveChurn) {
+			run := churnScenario(t, policy, parallel, workers)
+			if run.Live == nil || run.Opt.Churn == nil {
+				t.Fatal("live-churn scenario built without a churn source")
+			}
+			if run.CheckOpt != nil {
+				t.Fatal("live-churn run offers static preflight options")
+			}
+			rec, met := &obs.Recorder{}, obs.NewMetrics()
+			run.Opt.Observer = obs.Combine(rec, met)
+			res, err := run.Execute()
+			if err != nil {
+				t.Fatalf("policy=%q parallel=%v workers=%d: %v", policy, parallel, workers, err)
+			}
+			return res, rec, met, run.Live
+		}
+		refRes, refRec, refMet, refLive := exec(false, 0)
+		sum := refLive.Summary()
+		if sum.Ops == 0 {
+			t.Fatalf("policy=%q: generator applied no ops; the acceptance case is vacuous", policy)
+		}
+		if refLive.Joins() == 0 || refLive.Leaves() == 0 {
+			t.Fatalf("policy=%q: want both joins and leaves mid-run, got %d joins %d leaves",
+				policy, refLive.Joins(), refLive.Leaves())
+		}
+		if sum.MaxSwaps > sum.Bound {
+			t.Fatalf("policy=%q: max swaps %d exceeded the d²+d bound %d without aborting", policy, sum.MaxSwaps, sum.Bound)
+		}
+		for _, workers := range []int{1, 2, 4, 7} {
+			res, rec, met, live := exec(true, workers)
+			if !reflect.DeepEqual(refRes, res) {
+				t.Errorf("policy=%q workers=%d: Result differs from sequential run", policy, workers)
+			}
+			if got, want := met.Fingerprint(), refMet.Fingerprint(); got != want {
+				t.Errorf("policy=%q workers=%d: fingerprint %s, sequential %s", policy, workers, got, want)
+			}
+			if !reflect.DeepEqual(refRec.Events, rec.Events) {
+				t.Errorf("policy=%q workers=%d: event stream differs from sequential run", policy, workers)
+			}
+			if !reflect.DeepEqual(refLive.Ops(), live.Ops()) {
+				t.Errorf("policy=%q workers=%d: churn op log differs from sequential run", policy, workers)
+			}
+		}
+		// The SLO of the reference run is well-formed: every still-live
+		// member measured, ratios within [0,1].
+		slo := slotsim.PlaybackSLO(refRes, refLive.Membership(), 3, refLive.FirstChurnSlot())
+		if slo.Nodes == 0 || slo.Expected == 0 {
+			t.Fatalf("policy=%q: SLO measured nothing: %+v", policy, slo)
+		}
+		if slo.RebufferRatio < 0 || slo.RebufferRatio > 1 {
+			t.Fatalf("policy=%q: rebuffer ratio %v out of range", policy, slo.RebufferRatio)
+		}
+	}
+}
+
+// TestChurnPlanScenario: kind=plan consumes the fault plan's churn events
+// live — no pre-run replay happens, the events fire at their slots, and the
+// static replay summary stays empty.
+func TestChurnPlanScenario(t *testing.T) {
+	plan := &faults.Plan{Seed: 9, Churn: []faults.ChurnEvent{
+		{At: 6, Name: "late-a"},
+		{At: 9, Leave: true, Name: faults.AnyName},
+	}}
+	sc, err := Parse("scheme multitree\nparam d=2 n=10\npackets 12\nchurn kind=plan\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := BuildWithPlan(sc, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Churn != nil {
+		t.Fatal("plan churn was replayed pre-run despite churn kind=plan")
+	}
+	if _, err := run.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	ops := run.Live.Ops()
+	if len(ops) != 2 || ops[0].Slot != 6 || ops[1].Slot != 9 || !ops[1].Leave {
+		t.Fatalf("plan events misfired: %+v", ops)
+	}
+	if ops[1].Name == faults.AnyName {
+		t.Fatalf("wildcard leave left unresolved: %+v", ops[1])
+	}
+
+	// A second Execute is rejected: the source consumed its op log.
+	if _, err := run.Execute(); err == nil || !strings.Contains(err.Error(), "single-shot") {
+		t.Fatalf("second Execute: got %v, want single-shot error", err)
+	}
+
+	// Generator kinds refuse a plan that carries its own churn events.
+	sc2, err := Parse("scheme multitree\nparam d=2 n=10\nchurn kind=poisson rate=1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildWithPlan(sc2, plan); err == nil || !strings.Contains(err.Error(), "kind=plan") {
+		t.Fatalf("generator over churn-bearing plan: got %v", err)
+	}
+
+	// kind=plan without any plan at all fails at Build with a pointer to
+	// the faults directive.
+	sc3, err := Parse("scheme multitree\nchurn kind=plan\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(sc3); err == nil || !strings.Contains(err.Error(), "needs a fault plan") {
+		t.Fatalf("plan kind without plan: got %v", err)
+	}
+}

@@ -63,16 +63,87 @@ func multiTreeExtra(m *multitree.MultiTree, d int) core.Slot {
 	return core.Slot(m.Height()*d + 4*d + 2)
 }
 
+// buildLiveMultiTree wires the live-churn run: the dynamic family under the
+// positional live schedule, with a faults.LiveChurn source the slot engines
+// consult at every barrier. The fault plan's churn events, when the kind is
+// "plan", are consumed live — the pre-run replay path never sees them.
+func buildLiveMultiTree(in buildInput) (*buildOutput, error) {
+	cs := in.Churn
+	n, d := in.Values.Int("n"), in.Values.Int("d")
+	if cs.Kind == faults.ChurnPlan && (in.Plan == nil || len(in.Plan.Churn) == 0) {
+		return nil, fmt.Errorf("churn kind=plan needs a fault plan with join/leave events (faults file=... or a programmatic plan)")
+	}
+	if cs.Kind != faults.ChurnPlan && in.Plan != nil && len(in.Plan.Churn) > 0 {
+		return nil, fmt.Errorf("the fault plan carries join/leave events but churn kind=%s generates its own; use kind=plan or strip the plan's churn", cs.Kind)
+	}
+	dy, err := multitree.NewDynamic(n, d, cs.Lazy)
+	if err != nil {
+		return nil, err
+	}
+	ls := multitree.NewLiveScheme(dy, in.Mode)
+
+	budget := cs.Max
+	if budget == 0 {
+		if cs.Kind == faults.ChurnPlan {
+			for _, e := range in.Plan.Churn {
+				if !e.Leave {
+					budget++
+				}
+			}
+		} else {
+			budget = n
+		}
+	}
+	// Id-space ceiling: every grow is triggered by a join and appends d
+	// fresh ids, while a shrink discards its dummy ids for good — so under
+	// join/leave oscillation across a level boundary the id space can gain
+	// up to d ids per budgeted join.
+	maxNodes := ls.NumReceivers() + budget*d + d
+	lc, err := faults.NewLiveChurn(faults.LiveChurnConfig{
+		Kind:     cs.Kind,
+		Seed:     cs.Seed,
+		Rate:     cs.Rate,
+		Begin:    cs.Begin,
+		End:      cs.End,
+		MaxJoins: budget,
+		Plan:     in.Plan,
+		Bound:    multitree.SwapBound(d),
+		MaxNodes: maxNodes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &buildOutput{
+		Scheme: ls,
+		// The live steady state ranges over the padded positions, so it
+		// replaces the static height-derived slack.
+		Extra: ls.SteadyState() + core.Slot(4*d+2),
+		Live:  lc,
+	}
+	out.Opt.Mode = in.Mode
+	out.Opt.Churn = lc
+	// Live churn runs degraded by construction: repair gaps cascade as real
+	// losses, and a position swap can re-deliver a packet its new occupant
+	// already held.
+	out.Opt.AllowIncomplete = true
+	out.Opt.SkipUnavailable = true
+	out.Opt.AllowDuplicates = true
+	return out, nil
+}
+
 func init() {
 	register(&Family{
 		Name:   "multitree",
-		Doc:    "the paper's d interior-disjoint trees (Section 2); supports churn replay",
+		Doc:    "the paper's d interior-disjoint trees (Section 2); supports churn replay and live mid-run churn",
 		Params: multiTreeParams(),
-		Caps:   Capabilities{StaticCheck: true, Periodic: true, Churn: true},
+		Caps:   Capabilities{StaticCheck: true, Periodic: true, Churn: true, LiveChurn: true},
 		defaultPackets: func(v Values) core.Packet {
 			return core.Packet(4 * v.Int("d"))
 		},
 		build: func(in buildInput) (*buildOutput, error) {
+			if in.Churn != nil {
+				return buildLiveMultiTree(in)
+			}
 			m, churn, err := buildMultiTree(in.Values, in.Plan)
 			if err != nil {
 				return nil, err

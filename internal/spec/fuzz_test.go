@@ -24,6 +24,10 @@ func FuzzScenario(f *testing.F) {
 	f.Add("scheme chain\nfaults file=chaos.plan seed=7\nout metrics=m.prom trace=t.jsonl report=r.json\n")
 	f.Add("scheme multitree\nscheme multitree\n")
 	f.Add("scheme multitree\nparam n=99999999999999999999\n")
+	f.Add("scheme multitree\nchurn kind=poisson rate=0.5 seed=11 max=20 policy=lazy slots=10..60\n")
+	f.Add("scheme multitree\nchurn kind=flash rate=2 slots=0..40\nparallel workers=4\n")
+	f.Add("scheme multitree\nchurn kind=plan\nfaults file=chaos.plan\n")
+	f.Add("scheme multitree\nchurn kind=wave rate=1e-3 slots=3..\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		sc, err := Parse(src)
 		if err != nil {

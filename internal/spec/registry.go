@@ -94,6 +94,10 @@ type Capabilities struct {
 	// Churn means the family can replay fault-plan join/leave events
 	// (the dynamic multi-tree machinery).
 	Churn bool
+	// LiveChurn means the family can run churn as a live, mid-run workload
+	// (the churn scenario directive): its builder wires a
+	// core.DynamicScheme plus a slotsim.ChurnSource into the run.
+	LiveChurn bool
 }
 
 // Values holds a family's fully resolved parameters: every declared
@@ -122,14 +126,28 @@ func (v Values) Int64(name string) int64 {
 // Str returns a parameter's text value.
 func (v Values) Str(name string) string { return v[name] }
 
+// churnSpec is the scenario's live-churn half, resolved for the builder:
+// non-nil only when the scenario carries a churn directive (which Validate
+// has already gated to LiveChurn-capable families).
+type churnSpec struct {
+	Kind       string
+	Rate       float64
+	Seed       int64
+	Lazy       bool
+	Max        int
+	Begin, End core.Slot
+}
+
 // buildInput is what a family builder receives: resolved parameters, the
-// resolved stream mode and packet window, and the loaded fault plan (nil
-// without -faults / a faults directive).
+// resolved stream mode and packet window, the loaded fault plan (nil
+// without -faults / a faults directive), and the live-churn spec (nil
+// without a churn directive).
 type buildInput struct {
 	Values  Values
 	Mode    core.StreamMode
 	Packets core.Packet
 	Plan    *faults.Plan
+	Churn   *churnSpec
 }
 
 // buildOutput is what a family builder returns. Build fills Opt.Packets,
@@ -147,6 +165,10 @@ type buildOutput struct {
 	MkCheck func(win core.Packet) check.Options
 	// Churn summarizes replayed fault-plan churn, when any.
 	Churn *faults.ChurnSummary
+	// Live is the run's mid-run churn source (already wired into
+	// Opt.Churn); non-nil suppresses the static preflight options, since a
+	// mutating topology has no fixed schedule to verify.
+	Live *faults.LiveChurn
 }
 
 // Family is one registered scheme family: the single construction path for

@@ -2,6 +2,7 @@ package spec
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -47,6 +48,28 @@ type Scenario struct {
 	// FaultSeed, when non-zero, overrides the plan's seed.
 	FaultsFile string
 	FaultSeed  int64
+	// ChurnKind selects a live, mid-run churn source ("plan", "poisson",
+	// "flash", "wave"); empty means no live churn. Live churn requires a
+	// family with the LiveChurn capability (multitree) on the slotsim
+	// engine.
+	ChurnKind string
+	// ChurnRate is the expected membership ops per slot for the generator
+	// kinds (the peak rate for flash/wave); it must be 0 for kind=plan.
+	ChurnRate float64
+	// ChurnSeed drives every stochastic churn verdict; 0 means the fault
+	// plan's seed (kind=plan) or literally seed 0.
+	ChurnSeed int64
+	// ChurnPolicy selects the repair variant: "" (eager, the canonical
+	// default) or "lazy".
+	ChurnPolicy string
+	// ChurnMax is the join budget; 0 means the family default (the plan's
+	// join count for kind=plan, n otherwise).
+	ChurnMax int
+	// ChurnBegin and ChurnEnd bound the generator's active window in slots;
+	// ChurnEnd 0 means open-ended. Ignored (and required zero) for
+	// kind=plan.
+	ChurnBegin int
+	ChurnEnd   int
 	// MetricsOut, TraceOut, ReportOut are the observability outputs
 	// ("-" = stdout, empty = off).
 	MetricsOut string
@@ -151,6 +174,66 @@ func (sc *Scenario) Validate() error {
 	if sc.FaultSeed != 0 && sc.FaultsFile == "" {
 		return fmt.Errorf("spec: fault seed without a fault plan; it would be ignored")
 	}
+	if err := sc.validateChurn(f); err != nil {
+		return err
+	}
+	return nil
+}
+
+// churnKinds are the accepted churn directive kinds (matching the
+// internal/faults live-churn sources).
+var churnKinds = map[string]bool{"plan": true, "poisson": true, "flash": true, "wave": true}
+
+// validateChurn checks the live-churn half of the scenario: without a kind
+// every churn field must be zero (nothing may be silently ignored); with
+// one, the family, engine, and per-kind parameter rules apply.
+func (sc *Scenario) validateChurn(f *Family) error {
+	if sc.ChurnKind == "" {
+		if sc.ChurnRate != 0 || sc.ChurnSeed != 0 || sc.ChurnPolicy != "" ||
+			sc.ChurnMax != 0 || sc.ChurnBegin != 0 || sc.ChurnEnd != 0 {
+			return fmt.Errorf("spec: churn parameters without a churn kind; they would be ignored")
+		}
+		return nil
+	}
+	if !churnKinds[sc.ChurnKind] {
+		return fmt.Errorf("spec: unknown churn kind %q (want plan, poisson, flash, or wave)", sc.ChurnKind)
+	}
+	if !f.Caps.LiveChurn {
+		return fmt.Errorf("spec: scheme %s cannot run live churn (no dynamic topology); only churn-capable families (multitree) accept the churn directive", sc.Scheme)
+	}
+	if sc.Engine == "runtime" {
+		return fmt.Errorf("spec: live churn requires the slotsim engine (the runtime engine has no slot barrier to swap the topology at)")
+	}
+	if sc.Check {
+		return fmt.Errorf("spec: check verifies a static schedule; it cannot preflight a topology that mutates mid-run — drop check or the churn directive")
+	}
+	if sc.Params["construction"] == "structured" {
+		return fmt.Errorf("spec: live churn runs on the dynamic (greedy-based) family; construction=structured cannot churn")
+	}
+	if sc.ChurnPolicy != "" && sc.ChurnPolicy != "lazy" {
+		return fmt.Errorf("spec: churn policy %q is not eager or lazy", sc.ChurnPolicy)
+	}
+	if sc.ChurnMax < 0 || sc.ChurnBegin < 0 || sc.ChurnEnd < 0 {
+		return fmt.Errorf("spec: churn max and slots must be >= 0")
+	}
+	if sc.ChurnKind == "plan" {
+		if sc.ChurnRate != 0 {
+			return fmt.Errorf("spec: churn kind=plan takes its events from the fault plan; rate would be ignored")
+		}
+		if sc.ChurnBegin != 0 || sc.ChurnEnd != 0 {
+			return fmt.Errorf("spec: churn kind=plan events carry their own slots; the slots window would be ignored")
+		}
+		return nil
+	}
+	if !(sc.ChurnRate > 0) {
+		return fmt.Errorf("spec: churn kind=%s needs rate > 0", sc.ChurnKind)
+	}
+	if sc.ChurnEnd > 0 && sc.ChurnEnd < sc.ChurnBegin {
+		return fmt.Errorf("spec: churn window %d..%d is empty", sc.ChurnBegin, sc.ChurnEnd)
+	}
+	if sc.ChurnKind == "flash" && sc.ChurnEnd == 0 {
+		return fmt.Errorf("spec: churn kind=flash needs a bounded slots window (the crowd must drain)")
+	}
 	return nil
 }
 
@@ -168,6 +251,7 @@ func (sc *Scenario) Validate() error {
 //	parallel workers=4
 //	check
 //	faults file=chaos.plan seed=7
+//	churn kind=poisson rate=0.5 seed=11 max=20 policy=lazy slots=10..60
 //	out metrics=metrics.prom trace=events.jsonl report=report.json
 //
 // Every diagnostic carries the 1-based line number and the offending
@@ -297,6 +381,60 @@ func Parse(src string) (*Scenario, error) {
 				}
 				sc.FaultSeed = v
 			}
+		case "churn":
+			if err := once(ln, directive); err != nil {
+				return nil, err
+			}
+			a, err := parseArgs(ln, directive, rest, "kind", "rate", "seed", "max", "policy", "slots")
+			if err != nil {
+				return nil, err
+			}
+			kind, ok := a["kind"]
+			if !ok {
+				return nil, fmt.Errorf("spec: line %d: churn: missing kind=<plan|poisson|flash|wave>", ln)
+			}
+			if !churnKinds[kind] {
+				return nil, fmt.Errorf("spec: line %d: churn: unknown kind %q (want plan, poisson, flash, or wave)", ln, kind)
+			}
+			sc.ChurnKind = kind
+			if r, ok := a["rate"]; ok {
+				v, err := strconv.ParseFloat(r, 64)
+				if err != nil || !(v > 0) || math.IsInf(v, 0) {
+					return nil, fmt.Errorf("spec: line %d: churn: rate %q is not a positive finite number", ln, r)
+				}
+				sc.ChurnRate = v
+			}
+			if s, ok := a["seed"]; ok {
+				v, err := strconv.ParseInt(s, 10, 64)
+				if err != nil || v == 0 {
+					return nil, fmt.Errorf("spec: line %d: churn: seed %q is not a non-zero integer", ln, s)
+				}
+				sc.ChurnSeed = v
+			}
+			if m, ok := a["max"]; ok {
+				n, err := strconv.Atoi(m)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("spec: line %d: churn: max %q is not a positive integer", ln, m)
+				}
+				sc.ChurnMax = n
+			}
+			if p, ok := a["policy"]; ok {
+				switch p {
+				case "eager":
+					// The canonical default; stored as empty so Format omits it.
+				case "lazy":
+					sc.ChurnPolicy = "lazy"
+				default:
+					return nil, fmt.Errorf("spec: line %d: churn: policy %q is not eager or lazy", ln, p)
+				}
+			}
+			if w, ok := a["slots"]; ok {
+				lo, hi, err := parseChurnWindow(w)
+				if err != nil {
+					return nil, fmt.Errorf("spec: line %d: churn: %w", ln, err)
+				}
+				sc.ChurnBegin, sc.ChurnEnd = lo, hi
+			}
 		case "out":
 			if err := once(ln, directive); err != nil {
 				return nil, err
@@ -312,13 +450,40 @@ func Parse(src string) (*Scenario, error) {
 			sc.TraceOut = a["trace"]
 			sc.ReportOut = a["report"]
 		default:
-			return nil, fmt.Errorf("spec: line %d: unknown directive %q (want scheme, param, mode, packets, slots, engine, parallel, check, faults, or out)", ln, directive)
+			return nil, fmt.Errorf("spec: line %d: unknown directive %q (want scheme, param, mode, packets, slots, engine, parallel, check, faults, churn, or out)", ln, directive)
 		}
 	}
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
 	return sc, nil
+}
+
+// ParseChurnWindow parses the "lo..hi" / "lo.." churn window syntax shared
+// by the churn directive and streamsim's -churn-slots flag, so the two
+// invocation paths accept byte-identical window spellings.
+func ParseChurnWindow(v string) (lo, hi int, err error) { return parseChurnWindow(v) }
+
+// parseChurnWindow parses the churn directive's "lo..hi" / "lo.." window
+// forms (mirroring fault-rule windows). An explicit end must be a positive
+// slot at or after the start; "lo.." leaves the window open-ended (End 0).
+func parseChurnWindow(v string) (lo, hi int, err error) {
+	loS, hiS, ranged := strings.Cut(v, "..")
+	if !ranged {
+		return 0, 0, fmt.Errorf("slots %q is not lo..hi or lo..", v)
+	}
+	lo, err = strconv.Atoi(loS)
+	if err != nil || lo < 0 {
+		return 0, 0, fmt.Errorf("slots start %q is not a slot number", loS)
+	}
+	if hiS == "" {
+		return lo, 0, nil
+	}
+	hi, err = strconv.Atoi(hiS)
+	if err != nil || hi < 1 || hi < lo {
+		return 0, 0, fmt.Errorf("slots end %q is not a positive slot at or after %d", hiS, lo)
+	}
+	return lo, hi, nil
 }
 
 // parseArgs parses key=value directive arguments restricted to an allowed
@@ -409,6 +574,29 @@ func (sc *Scenario) Format() string {
 		} else {
 			fmt.Fprintf(&b, "faults file=%s\n", sc.FaultsFile)
 		}
+	}
+	if sc.ChurnKind != "" {
+		fmt.Fprintf(&b, "churn kind=%s", sc.ChurnKind)
+		if sc.ChurnRate != 0 {
+			fmt.Fprintf(&b, " rate=%s", strconv.FormatFloat(sc.ChurnRate, 'g', -1, 64))
+		}
+		if sc.ChurnSeed != 0 {
+			fmt.Fprintf(&b, " seed=%d", sc.ChurnSeed)
+		}
+		if sc.ChurnMax != 0 {
+			fmt.Fprintf(&b, " max=%d", sc.ChurnMax)
+		}
+		if sc.ChurnPolicy != "" {
+			fmt.Fprintf(&b, " policy=%s", sc.ChurnPolicy)
+		}
+		if sc.ChurnBegin != 0 || sc.ChurnEnd != 0 {
+			if sc.ChurnEnd > 0 {
+				fmt.Fprintf(&b, " slots=%d..%d", sc.ChurnBegin, sc.ChurnEnd)
+			} else {
+				fmt.Fprintf(&b, " slots=%d..", sc.ChurnBegin)
+			}
+		}
+		b.WriteString("\n")
 	}
 	if sc.MetricsOut != "" || sc.TraceOut != "" || sc.ReportOut != "" {
 		b.WriteString("out")
